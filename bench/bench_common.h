@@ -1,0 +1,125 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers for context and
+// (b) the numbers measured on the scaled synthetic datasets. Absolute
+// values differ by design (see DESIGN.md §2); the comparisons of interest
+// are orderings and relative gaps.
+//
+// Env knobs:
+//   STISAN_BENCH_FAST=1  - tiny budgets (CI smoke)
+//   STISAN_BENCH_SCALE   - dataset scale multiplier (default 0.4)
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/recommender.h"
+#include "util/stopwatch.h"
+
+namespace stisan::bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("STISAN_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double BenchScale(double fallback = 0.4) {
+  const char* v = std::getenv("STISAN_BENCH_SCALE");
+  if (v == nullptr) return FastMode() ? 0.12 : fallback;
+  return std::atof(v);
+}
+
+/// The four scaled datasets mirroring the paper's Table II.
+inline std::vector<data::SyntheticConfig> PaperDatasetConfigs(double scale) {
+  return {data::GowallaLikeConfig(scale), data::BrightkiteLikeConfig(scale),
+          data::WeeplacesLikeConfig(scale), data::ChangchunLikeConfig(scale)};
+}
+
+/// A prepared dataset: generated, split, with a candidate generator.
+struct PreparedDataset {
+  data::Dataset dataset;
+  data::Split split;
+  std::unique_ptr<eval::CandidateGenerator> candidates;
+};
+
+inline PreparedDataset Prepare(const data::SyntheticConfig& config,
+                               int64_t max_seq_len = 32) {
+  PreparedDataset out;
+  out.dataset = data::GenerateSynthetic(config);
+  out.split = data::TrainTestSplit(out.dataset, {.max_seq_len = max_seq_len});
+  out.candidates = std::make_unique<eval::CandidateGenerator>(out.dataset);
+  return out;
+}
+
+/// Default training config used across benches (verbose off).
+/// `temperature` mirrors the paper's per-dataset T (scaled down).
+inline train::TrainConfig BenchTrainConfig(float temperature = 1.0f) {
+  train::TrainConfig cfg;
+  cfg.epochs = FastMode() ? 2 : 8;
+  cfg.num_negatives = 15;  // paper: L = 15
+  cfg.knn_neighborhood = 100;
+  cfg.temperature = temperature;
+  // Single-core wall-clock budget: cap windows per epoch on the denser
+  // datasets (the sweep still covers every user's most recent windows).
+  cfg.max_train_windows = FastMode() ? 30 : 200;
+  return cfg;
+}
+
+/// Tuned CPU-scale STiSAN configuration (see EXPERIMENTS.md for the
+/// calibration sweep).
+inline core::StisanOptions BenchStisanOptions(float temperature = 1.0f) {
+  core::StisanOptions opts;
+  opts.poi_dim = 16;
+  opts.geo.dim = 16;
+  opts.geo.fourier_dim = 8;
+  opts.geo.scales_km = {0.25, 0.8, 2.5, 8.0};
+  opts.num_blocks = 2;
+  opts.dropout = 0.2f;
+  opts.train = BenchTrainConfig(temperature);
+  return opts;
+}
+
+/// Per-dataset temperature, mirroring the paper's {1, 100, 100, 500}
+/// pattern (rescaled for the smaller negative pools).
+inline float DatasetTemperature(const std::string& dataset_name) {
+  return dataset_name.find("gowalla") != std::string::npos ? 1.0f : 10.0f;
+}
+
+/// Fits a model and evaluates it with the paper protocol.
+inline eval::MetricAccumulator FitAndEvaluate(
+    models::SequentialRecommender& model, const PreparedDataset& prep,
+    double* train_seconds = nullptr) {
+  Stopwatch watch;
+  model.Fit(prep.dataset, prep.split.train);
+  if (train_seconds != nullptr) *train_seconds = watch.ElapsedSeconds();
+  return eval::Evaluate(
+      [&model](const data::EvalInstance& inst,
+               const std::vector<int64_t>& cands) {
+        return model.Score(inst, cands);
+      },
+      prep.split.test, *prep.candidates, {});
+}
+
+/// Prints one metric row: name, HR@5, NDCG@5, HR@10, NDCG@10.
+inline void PrintMetricsRow(const std::string& name,
+                            const eval::MetricAccumulator& acc) {
+  std::printf("  %-14s %8.4f %8.4f %8.4f %8.4f\n", name.c_str(),
+              acc.HitRate(5), acc.Ndcg(5), acc.HitRate(10), acc.Ndcg(10));
+  std::fflush(stdout);
+}
+
+inline void PrintMetricsHeader() {
+  std::printf("  %-14s %8s %8s %8s %8s\n", "model", "HR@5", "NDCG@5", "HR@10",
+              "NDCG@10");
+}
+
+}  // namespace stisan::bench

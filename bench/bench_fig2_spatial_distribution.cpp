@@ -1,0 +1,65 @@
+// Fig. 2 reproduction: distribution of strong-spatial-correlation POIs
+// (< 10 km from the target POI) across sequence positions.
+//
+// The paper's observation: POIs spatially close to the user's final
+// (target) POI appear not only among the most recent visits but throughout
+// the whole history — which motivates IAAB's relation bias over the entire
+// sequence rather than a local attention window.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "geo/geo.h"
+
+using namespace stisan;
+
+int main() {
+  const double scale = bench::BenchScale(1.0);
+  const double kStrongKm = 10.0;  // paper's threshold [32]
+  const int kBuckets = 8;
+
+  std::printf("Fig. 2: positions of POIs within %.0f km of the target\n",
+              kStrongKm);
+  std::printf("(counts bucketed over relative history position; bucket 8 = "
+              "most recent)\n\n");
+
+  for (const auto& cfg : bench::PaperDatasetConfigs(scale)) {
+    data::Dataset ds = data::GenerateSynthetic(cfg);
+    std::vector<int64_t> buckets(kBuckets, 0);
+    int64_t total_strong = 0;
+    for (const auto& seq : ds.user_seqs) {
+      if (seq.size() < 8) continue;
+      const auto& target_loc = ds.poi_location(seq.back().poi);
+      const size_t hist = seq.size() - 1;
+      for (size_t i = 0; i < hist; ++i) {
+        if (geo::HaversineKm(ds.poi_location(seq[i].poi), target_loc) <
+            kStrongKm) {
+          const int b = static_cast<int>(i * kBuckets / hist);
+          buckets[static_cast<size_t>(std::min(b, kBuckets - 1))]++;
+          ++total_strong;
+        }
+      }
+    }
+    std::printf("%-18s total=%lld\n  ", cfg.name.c_str(),
+                static_cast<long long>(total_strong));
+    for (int b = 0; b < kBuckets; ++b) {
+      std::printf("%7lld", static_cast<long long>(buckets[size_t(b)]));
+    }
+    std::printf("\n  ");
+    // Normalised shares, to show the distribution is NOT confined to the
+    // most recent bucket (the paper's point).
+    for (int b = 0; b < kBuckets; ++b) {
+      std::printf("%6.1f%%", total_strong > 0
+                                 ? 100.0 * double(buckets[size_t(b)]) /
+                                       double(total_strong)
+                                 : 0.0);
+    }
+    std::printf("\n\n");
+  }
+  std::printf("paper: strong-correlation POIs spread across ALL positions\n"
+              "(e.g. positions 640-896 in Gowalla, whole sequence in\n"
+              "Brightkite/Weeplaces) — expect every bucket well above 0%%.\n");
+  return 0;
+}

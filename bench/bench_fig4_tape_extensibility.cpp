@@ -1,0 +1,52 @@
+// Fig. 4 reproduction: extensibility of TAPE — replace the positional
+// encoding of a vanilla self-attention network (SASRec) with TAPE and
+// compare HR@10 on all four datasets.
+//
+// Paper: SAN+TAPE improves HR@10 by 5.36% on average over SAN+PE.
+
+#include "bench_common.h"
+#include "models/san_models.h"
+
+using namespace stisan;
+
+int main() {
+  const double scale = bench::BenchScale(0.3);
+  std::printf("Fig. 4: TAPE extensibility on a vanilla SAN (scale=%.2f)\n",
+              scale);
+  std::printf("paper: +5.36%% HR@10 on average from PE -> TAPE\n\n");
+  std::printf("%-18s %10s %10s %8s\n", "dataset", "SAN+PE", "SAN+TAPE",
+              "delta");
+
+  double sum_rel = 0.0;
+  int count = 0;
+  for (const auto& cfg : bench::PaperDatasetConfigs(scale)) {
+    auto prep = bench::Prepare(cfg);
+    models::SanOptions san;
+    san.base.dim = 32;
+    san.base.train =
+        bench::BenchTrainConfig(bench::DatasetTemperature(cfg.name));
+    san.num_blocks = 2;
+
+    models::SasRecModel pe(prep.dataset, san);
+    auto acc_pe = bench::FitAndEvaluate(pe, prep);
+
+    models::SasRecExtensions ext;
+    ext.use_tape = true;
+    models::SasRecModel tape(prep.dataset, san, ext, "SAN+TAPE");
+    auto acc_tape = bench::FitAndEvaluate(tape, prep);
+
+    const double rel = acc_pe.HitRate(10) > 0
+                           ? 100.0 * (acc_tape.HitRate(10) /
+                                          acc_pe.HitRate(10) -
+                                      1.0)
+                           : 0.0;
+    sum_rel += rel;
+    ++count;
+    std::printf("%-18s %10.4f %10.4f %+7.1f%%\n", cfg.name.c_str(),
+                acc_pe.HitRate(10), acc_tape.HitRate(10), rel);
+    std::fflush(stdout);
+  }
+  std::printf("\naverage HR@10 change: %+.1f%% (paper: +5.36%%)\n",
+              count > 0 ? sum_rel / count : 0.0);
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Fig. 5 reproduction: interpretability of TAPE.
+//
+// The paper picks one user (history length 64), plots the time intervals
+// between successive visits, and compares the average attention heat-maps
+// of SAN+PE vs SAN+TAPE. The signature: with TAPE, successive POIs with a
+// SMALL time interval get MORE similar attention (stronger sub-diagonal),
+// and large intervals weaken it.
+//
+// This bench prints the intervals, both sub-diagonals, and the correlation
+// between interval size and attention change — expect a clear negative
+// relation for TAPE and none for PE.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/tape.h"
+#include "nn/layers.h"
+
+using namespace stisan;
+
+namespace {
+
+// Pearson correlation.
+double Correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= double(n);
+  my /= double(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+// Spearman rank correlation (robust to the heavy-tailed interval
+// distribution).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> order(v.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&v](size_t a, size_t b) { return v[a] < v[b]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < order.size(); ++i) r[order[i]] = double(i);
+    return r;
+  };
+  return Correlation(ranks(x), ranks(y));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale(0.3);
+  auto cfg = data::WeeplacesLikeConfig(scale);  // paper uses Weeplaces
+  auto prep = bench::Prepare(cfg, /*max_seq_len=*/32);
+  std::printf("Fig. 5: TAPE interpretability (%s)\n\n", cfg.name.c_str());
+
+  const float temperature = bench::DatasetTemperature(cfg.name);
+  auto pe_opts = bench::BenchStisanOptions(temperature);
+  pe_opts.use_tape = false;
+  pe_opts.attention_mode = core::AttentionMode::kVanilla;
+  auto tape_opts = bench::BenchStisanOptions(temperature);
+  tape_opts.attention_mode = core::AttentionMode::kVanilla;  // isolate TAPE
+
+  core::StisanModel pe_model(prep.dataset, pe_opts);
+  core::StisanModel tape_model(prep.dataset, tape_opts);
+  pe_model.Fit(prep.dataset, prep.split.train);
+  tape_model.Fit(prep.dataset, prep.split.train);
+
+  // Pick a user with a full-length history.
+  const data::EvalInstance* inst = &prep.split.test.front();
+  for (const auto& candidate : prep.split.test) {
+    if (candidate.first_real == 0) {
+      inst = &candidate;
+      break;
+    }
+  }
+  const int64_t n = static_cast<int64_t>(inst->poi.size());
+
+  // (a) Time intervals between successive visits.
+  std::printf("(a) time intervals between successive visits (hours):\n  ");
+  std::vector<double> intervals;
+  for (int64_t i = inst->first_real + 1; i < n; ++i) {
+    const double h =
+        (inst->t[size_t(i)] - inst->t[size_t(i - 1)]) / 3600.0;
+    intervals.push_back(h);
+    std::printf("%.1f ", h);
+  }
+  std::printf("\n\n");
+
+  // (b)/(c) sub-diagonals of the average attention maps: attention of step
+  // i on its immediate predecessor, normalised by the row mean so that the
+  // mechanical 1/row-length decay of softmax rows does not masquerade as an
+  // interval effect.
+  Tensor map_pe =
+      pe_model.AverageAttentionMap(inst->poi, inst->t, inst->first_real);
+  Tensor map_tape =
+      tape_model.AverageAttentionMap(inst->poi, inst->t, inst->first_real);
+  auto normalised_prev = [&](const Tensor& map, int64_t i) {
+    const int64_t visible = i - inst->first_real + 1;
+    double row_mean = 0;
+    for (int64_t j = inst->first_real; j <= i; ++j) row_mean += map.at({i, j});
+    row_mean /= double(visible);
+    return map.at({i, i - 1}) / std::max(1e-9, row_mean);
+  };
+  std::vector<double> sub_pe, sub_tape;
+  for (int64_t i = inst->first_real + 1; i < n; ++i) {
+    sub_pe.push_back(normalised_prev(map_pe, i));
+    sub_tape.push_back(normalised_prev(map_tape, i));
+  }
+  std::printf("(b) SAN+PE   attention on previous step (row-normalised):\n  ");
+  for (double v : sub_pe) std::printf("%.3f ", v);
+  std::printf("\n(c) SAN+TAPE attention on previous step (row-normalised):\n  ");
+  for (double v : sub_tape) std::printf("%.3f ", v);
+
+  std::printf("\n\nsingle-user rank correlation (interval vs attention):\n"
+              "  SAN+PE   %+0.3f\n  SAN+TAPE %+0.3f\n",
+              SpearmanCorrelation(intervals, sub_pe),
+              SpearmanCorrelation(intervals, sub_tape));
+
+  // Aggregate over many users for a stable estimate (single-user heat-maps
+  // are qualitative; heavy-tailed overnight gaps dominate Pearson).
+  double sum_pe = 0, sum_tape = 0;
+  int64_t users = 0;
+  for (const auto& u : prep.split.test) {
+    const int64_t un = static_cast<int64_t>(u.poi.size());
+    if (un - u.first_real < 8) continue;
+    Tensor mp = pe_model.AverageAttentionMap(u.poi, u.t, u.first_real);
+    Tensor mt = tape_model.AverageAttentionMap(u.poi, u.t, u.first_real);
+    std::vector<double> iv, ape, atape;
+    for (int64_t i = u.first_real + 1; i < un; ++i) {
+      iv.push_back(u.t[size_t(i)] - u.t[size_t(i - 1)]);
+      const int64_t visible = i - u.first_real + 1;
+      auto norm_prev = [&](const Tensor& map) {
+        double row_mean = 0;
+        for (int64_t j = u.first_real; j <= i; ++j) row_mean += map.at({i, j});
+        row_mean /= double(visible);
+        return map.at({i, i - 1}) / std::max(1e-9, row_mean);
+      };
+      ape.push_back(norm_prev(mp));
+      atape.push_back(norm_prev(mt));
+    }
+    sum_pe += SpearmanCorrelation(iv, ape);
+    sum_tape += SpearmanCorrelation(iv, atape);
+    ++users;
+    if (users >= 40) break;
+  }
+  std::printf(
+      "\nmean rank correlation over %lld users (trained attention):\n"
+      "  SAN+PE   %+0.3f\n  SAN+TAPE %+0.3f\n",
+      static_cast<long long>(users), sum_pe / std::max<int64_t>(1, users),
+      sum_tape / std::max<int64_t>(1, users));
+
+  // (d) The mechanism itself, measured at the encoding level: the inner
+  // product between successive positional encodings. Vanilla PE is a
+  // constant function of the fixed position difference 1; TAPE stretches
+  // the difference by dt/mean(dt), so the similarity decreases as the
+  // interval grows. This is the property the attention mechanism can
+  // exploit to distinguish rhythms (the paper's "Why TAPE?" argument).
+  const int64_t d = 32;
+  double corr_sum = 0;
+  int64_t corr_users = 0;
+  for (const auto& u : prep.split.test) {
+    const int64_t un = static_cast<int64_t>(u.poi.size());
+    if (un - u.first_real < 8) continue;
+    auto positions = core::TimeAwarePositions(u.t, u.first_real);
+    Tensor enc = nn::SinusoidalEncoding(positions, d);
+    std::vector<double> iv, sim;
+    for (int64_t i = u.first_real + 1; i < un; ++i) {
+      iv.push_back(u.t[size_t(i)] - u.t[size_t(i - 1)]);
+      double dot = 0;
+      for (int64_t c = 0; c < d; ++c) dot += enc.at({i, c}) * enc.at({i - 1, c});
+      sim.push_back(dot);
+    }
+    corr_sum += SpearmanCorrelation(iv, sim);
+    ++corr_users;
+    if (corr_users >= 40) break;
+  }
+  std::printf(
+      "\n(d) encoding-level mechanism over %lld users:\n"
+      "  rank corr(interval, <TAPE_i, TAPE_(i-1)>) = %+0.3f\n"
+      "  (vanilla PE: exactly 0 — successive encodings are equidistant)\n"
+      "paper: smaller time interval => more similar positional encodings\n"
+      "=> more similar attention; TAPE carries the interval, PE cannot.\n",
+      static_cast<long long>(corr_users),
+      corr_sum / std::max<int64_t>(1, corr_users));
+  return 0;
+}

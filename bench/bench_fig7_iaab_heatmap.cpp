@@ -1,0 +1,77 @@
+// Fig. 7 reproduction: interpretability of IAAB.
+//
+// The paper picks one user, plots the geography interval between each
+// historical POI and the target, and compares the final-step attention of
+// plain SA vs IAAB: IAAB concentrates attention on the spatially-close
+// ("vital") POIs, including those far back in the sequence.
+//
+// This bench prints both attention rows next to the geography intervals
+// and reports the attention mass each model puts on strongly-correlated
+// (< 10 km) history steps.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "geo/geo.h"
+
+using namespace stisan;
+
+int main() {
+  const double scale = bench::BenchScale(0.3);
+  auto cfg = data::WeeplacesLikeConfig(scale);  // paper uses Weeplaces
+  auto prep = bench::Prepare(cfg, /*max_seq_len=*/32);
+  std::printf("Fig. 7: IAAB interpretability (%s)\n\n", cfg.name.c_str());
+
+  const float temperature = bench::DatasetTemperature(cfg.name);
+  auto sa_opts = bench::BenchStisanOptions(temperature);
+  sa_opts.attention_mode = core::AttentionMode::kVanilla;
+  auto iaab_opts = bench::BenchStisanOptions(temperature);
+
+  core::StisanModel sa(prep.dataset, sa_opts);
+  core::StisanModel iaab(prep.dataset, iaab_opts);
+  sa.Fit(prep.dataset, prep.split.train);
+  iaab.Fit(prep.dataset, prep.split.train);
+
+  const data::EvalInstance* inst = &prep.split.test.front();
+  for (const auto& candidate : prep.split.test) {
+    if (candidate.first_real == 0) {
+      inst = &candidate;
+      break;
+    }
+  }
+  const int64_t n = static_cast<int64_t>(inst->poi.size());
+  const auto& target_loc = prep.dataset.poi_location(inst->target);
+
+  Tensor map_sa = sa.AverageAttentionMap(inst->poi, inst->t,
+                                         inst->first_real);
+  Tensor map_iaab = iaab.AverageAttentionMap(inst->poi, inst->t,
+                                             inst->first_real);
+
+  std::printf("%6s %10s %10s %10s\n", "step", "geo-km", "SA att",
+              "IAAB att");
+  double mass_sa = 0, mass_iaab = 0, total_sa = 0, total_iaab = 0;
+  for (int64_t j = inst->first_real; j < n; ++j) {
+    const double km = geo::HaversineKm(
+        prep.dataset.poi_location(inst->poi[size_t(j)]), target_loc);
+    const double a_sa = map_sa.at({n - 1, j});
+    const double a_iaab = map_iaab.at({n - 1, j});
+    std::printf("%6lld %10.2f %10.4f %10.4f%s\n",
+                static_cast<long long>(j), km, a_sa, a_iaab,
+                km < 10.0 ? "  *" : "");
+    total_sa += a_sa;
+    total_iaab += a_iaab;
+    if (km < 10.0) {
+      mass_sa += a_sa;
+      mass_iaab += a_iaab;
+    }
+  }
+  std::printf(
+      "\nattention mass on strong-spatial-correlation steps (* = < 10 km):\n"
+      "  SA   %5.1f%%\n  IAAB %5.1f%%\n"
+      "paper: IAAB pays markedly more attention to these vital POIs,\n"
+      "including ones early in the sequence.\n",
+      100.0 * mass_sa / std::max(1e-9, total_sa),
+      100.0 * mass_iaab / std::max(1e-9, total_iaab));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 8 + Table V reproduction: sensitivity to dataset sparsity.
+//
+// The paper filters Weeplaces at four increasingly aggressive cold
+// thresholds (Table V) and compares STiSAN with GeoSAN and STAN at each
+// sparsity level. Expected shape: STiSAN on top at every level; all models
+// rise as data densifies, then fall at the densest level where too few
+// users/POIs remain for training.
+
+#include "bench_common.h"
+#include "data/preprocess.h"
+#include "models/geosan.h"
+#include "models/stan.h"
+
+using namespace stisan;
+
+int main() {
+  const double scale = bench::BenchScale(0.45);
+  auto cfg = data::WeeplacesLikeConfig(scale);
+  data::Dataset base = data::GenerateSynthetic(cfg);
+  std::printf("Fig. 8 / Table V: sparsity sensitivity (%s)\n\n",
+              cfg.name.c_str());
+
+  // Cold thresholds shaped like the paper's Table V (scaled to the smaller
+  // synthetic sequences; the paper uses POI 30/60/80/90, user 60/120/140/150
+  // on sequences averaging 325 visits).
+  struct Level {
+    int64_t poi_threshold;
+    int64_t user_threshold;
+  };
+  const std::vector<Level> levels = {{5, 40}, {10, 60}, {15, 80}, {20, 100}};
+
+  std::printf("%-24s %8s %8s %10s %9s\n", "level(poi/user)", "#users",
+              "#POIs", "#checkins", "sparsity");
+  std::vector<data::Dataset> datasets;
+  for (const auto& level : levels) {
+    data::Dataset filtered = data::FilterCold(
+        base, {.min_user_checkins = level.user_threshold,
+               .min_poi_checkins = level.poi_threshold});
+    auto s = filtered.Stats();
+    std::printf("%9lld/%-13lld %8lld %8lld %10lld %8.2f%%\n",
+                static_cast<long long>(level.poi_threshold),
+                static_cast<long long>(level.user_threshold),
+                static_cast<long long>(s.num_users),
+                static_cast<long long>(s.num_pois),
+                static_cast<long long>(s.num_checkins), s.sparsity * 100.0);
+    datasets.push_back(std::move(filtered));
+  }
+  std::printf("\n");
+
+  const float temperature = bench::DatasetTemperature(cfg.name);
+  std::printf("%-24s %10s %10s %10s\n", "level(poi/user)", "GeoSAN",
+              "STAN", "STiSAN");
+  for (size_t k = 0; k < datasets.size(); ++k) {
+    const auto& ds = datasets[k];
+    if (ds.num_users() < 5 || ds.num_pois() < 20) {
+      std::printf("%9lld/%-13lld   (too little data after filtering)\n",
+                  static_cast<long long>(levels[k].poi_threshold),
+                  static_cast<long long>(levels[k].user_threshold));
+      continue;
+    }
+    bench::PreparedDataset prep;
+    prep.dataset = ds;
+    prep.split = data::TrainTestSplit(prep.dataset, {.max_seq_len = 32});
+    prep.candidates =
+        std::make_unique<eval::CandidateGenerator>(prep.dataset);
+
+    auto st = bench::BenchStisanOptions(temperature);
+    models::GeoSanModel geosan(prep.dataset, st);
+    auto acc_geosan = bench::FitAndEvaluate(geosan, prep);
+
+    models::StanOptions so;
+    so.base.dim = 32;
+    so.base.train = bench::BenchTrainConfig(temperature);
+    models::StanModel stan(prep.dataset, so);
+    auto acc_stan = bench::FitAndEvaluate(stan, prep);
+
+    core::StisanModel stisan(prep.dataset, st);
+    auto acc_stisan = bench::FitAndEvaluate(stisan, prep);
+
+    std::printf("%9lld/%-13lld %10.4f %10.4f %10.4f   (HR@10)\n",
+                static_cast<long long>(levels[k].poi_threshold),
+                static_cast<long long>(levels[k].user_threshold),
+                acc_geosan.HitRate(10), acc_stan.HitRate(10),
+                acc_stisan.HitRate(10));
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: STiSAN above GeoSAN/STAN at every sparsity level;\n"
+              "accuracy rises then falls as the dataset densifies (the\n"
+              "densest level under-fits on too few users).\n");
+  return 0;
+}

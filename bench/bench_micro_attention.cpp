@@ -1,0 +1,81 @@
+// Microbenchmarks for the attention stack: vanilla SA block vs IAAB,
+// forward and forward+backward (google-benchmark). The FLOPs claim of
+// Table VI in wall-clock form at op granularity.
+
+#include <benchmark/benchmark.h>
+
+#include "core/iaab.h"
+#include "core/relation.h"
+
+namespace stisan::core {
+namespace {
+
+IaabOptions Options(AttentionMode mode, int64_t d) {
+  IaabOptions o;
+  o.dim = d;
+  o.ffn_hidden = 2 * d;
+  o.dropout = 0.0f;
+  o.mode = mode;
+  return o;
+}
+
+void RunBlock(benchmark::State& state, AttentionMode mode, bool backward) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(7);
+  IntervalAwareAttentionBlock block(Options(mode, d), rng);
+  block.SetTraining(false);
+  Tensor rel = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+  Tensor mask = BuildPaddedCausalMask(n, 0);
+  for (auto _ : state) {
+    Tensor x = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor out = block.Forward(x, rel, mask, rng);
+    if (backward) {
+      ops::Sum(ops::Square(out)).Backward();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_SaBlockForward(benchmark::State& state) {
+  RunBlock(state, AttentionMode::kVanilla, false);
+}
+BENCHMARK(BM_SaBlockForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_IaabBlockForward(benchmark::State& state) {
+  RunBlock(state, AttentionMode::kIntervalAware, false);
+}
+BENCHMARK(BM_IaabBlockForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SaBlockTrainStep(benchmark::State& state) {
+  RunBlock(state, AttentionMode::kVanilla, true);
+}
+BENCHMARK(BM_SaBlockTrainStep)->Arg(32)->Arg(64);
+
+void BM_IaabBlockTrainStep(benchmark::State& state) {
+  RunBlock(state, AttentionMode::kIntervalAware, true);
+}
+BENCHMARK(BM_IaabBlockTrainStep)->Arg(32)->Arg(64);
+
+void BM_RelationMatrixBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<int64_t> pois(static_cast<size_t>(n));
+  std::vector<double> ts(static_cast<size_t>(n));
+  std::vector<geo::GeoPoint> coords(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    pois[size_t(i)] = i + 1;
+    ts[size_t(i)] = double(i) * 3600.0;
+    coords[size_t(i)] = {43.8 + 0.001 * double(i), 125.3};
+  }
+  for (auto _ : state) {
+    Tensor r = BuildRelationMatrix(pois, ts, coords, 0, {});
+    benchmark::DoNotOptimize(SoftmaxScaleRelation(r, 0).data());
+  }
+}
+BENCHMARK(BM_RelationMatrixBuild)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace stisan::core
+
+BENCHMARK_MAIN();

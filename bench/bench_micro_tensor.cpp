@@ -1,0 +1,84 @@
+// Microbenchmarks for the tensor/autograd substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace stisan {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Randn({n, n}, rng, 1.0f, true);
+  Tensor b = Tensor::Randn({n, n}, rng, 1.0f, true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor loss = ops::Sum(ops::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad_data());
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(a).data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::Randn({n, 64}, rng);
+  Tensor gamma = Tensor::Ones({64});
+  Tensor beta = Tensor::Zeros({64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::LayerNorm(x, gamma, beta).data());
+  }
+}
+BENCHMARK(BM_LayerNorm)->Arg(32)->Arg(128);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w = Tensor::Randn({10000, 64}, rng);
+  std::vector<int64_t> ids(256);
+  for (auto& id : ids) id = static_cast<int64_t>(rng.UniformInt(uint64_t{10000}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::EmbeddingLookup(w, ids).data());
+  }
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({128, 64}, rng);
+  Tensor b = Tensor::Randn({64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((a + b).data());
+  }
+}
+BENCHMARK(BM_BroadcastAdd);
+
+}  // namespace
+}  // namespace stisan
+
+BENCHMARK_MAIN();

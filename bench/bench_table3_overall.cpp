@@ -1,0 +1,133 @@
+// Table III reproduction: overall recommendation performance of STiSAN and
+// the twelve baselines on the four (synthetic) datasets.
+//
+// Paper headline (HR@5): STiSAN best everywhere; GeoSAN/STAN strongest
+// baselines; SASRec/TiSASRec/Bert4Rec mid-field; GRU4Rec/Caser/PRME-G
+// lower; STGN/FPMC-LR weak; BPR/POP weakest. Average improvement of STiSAN
+// over the best baseline: 13.01%.
+//
+// Expected shape here (scaled synthetic, CPU budgets): the same ordering
+// of model *families* — spatio-temporal attention > geo attention >
+// plain attention > RNN/CNN/metric > popularity/MF.
+//
+// Usage: bench_table3_overall [--dataset <name-substring>]
+// Env: STISAN_BENCH_FAST=1, STISAN_BENCH_SCALE=<f>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "bench_common.h"
+#include "models/caser.h"
+#include "models/geosan.h"
+#include "models/gru4rec.h"
+#include "models/san_models.h"
+#include "models/shallow.h"
+#include "models/stan.h"
+#include "models/stgn.h"
+
+using namespace stisan;
+
+int main(int argc, char** argv) {
+  const char* only = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataset") == 0) only = argv[i + 1];
+  }
+  const double scale = bench::BenchScale(0.3);
+  const bool fast = bench::FastMode();
+
+  std::printf("Table III: overall performance (synthetic, scale=%.2f)\n",
+              scale);
+  std::printf("paper (Gowalla HR@5): POP .015 BPR .014 FPMC-LR .126 "
+              "PRME-G .341 GRU4Rec .326\n  Caser .233 STGN .166 SASRec .324 "
+              "Bert4Rec .332 TiSASRec .333 GeoSAN .415 STAN .437 "
+              "STiSAN .462\n\n");
+
+  for (const auto& cfg : bench::PaperDatasetConfigs(scale)) {
+    if (only != nullptr && cfg.name.find(only) == std::string::npos) continue;
+    auto prep = bench::Prepare(cfg);
+    const float temperature = bench::DatasetTemperature(cfg.name);
+    std::printf("== %s: %s ==\n", cfg.name.c_str(),
+                prep.dataset.Stats().ToString().c_str());
+    bench::PrintMetricsHeader();
+
+    train::TrainConfig tc = bench::BenchTrainConfig(temperature);
+    // The headline table gets a larger budget than the figure benches.
+    tc.epochs = fast ? 2 : 14;
+    models::NeuralOptions neural;
+    neural.dim = 32;
+    neural.train = tc;
+    models::SanOptions san;
+    san.base = neural;
+    san.num_blocks = 2;
+    core::StisanOptions st = bench::BenchStisanOptions(temperature);
+    st.train.epochs = tc.epochs;
+
+    using Factory = std::pair<
+        std::string,
+        std::function<std::unique_ptr<models::SequentialRecommender>()>>;
+    std::vector<Factory> factories;
+    factories.emplace_back("POP", [] {
+      return std::make_unique<models::PopModel>();
+    });
+    factories.emplace_back("BPR", [] {
+      return std::make_unique<models::BprMfModel>();
+    });
+    factories.emplace_back("FPMC-LR", [] {
+      return std::make_unique<models::FpmcLrModel>();
+    });
+    factories.emplace_back("PRME-G", [] {
+      return std::make_unique<models::PrmeGModel>();
+    });
+    factories.emplace_back("GRU4Rec", [&] {
+      return std::make_unique<models::Gru4RecModel>(prep.dataset, neural);
+    });
+    factories.emplace_back("Caser", [&] {
+      models::CaserOptions co;
+      co.base = neural;
+      co.base.train.max_train_windows = fast ? 20 : 200;
+      return std::make_unique<models::CaserModel>(prep.dataset, co);
+    });
+    factories.emplace_back("STGN", [&] {
+      return std::make_unique<models::StgnModel>(prep.dataset, neural);
+    });
+    factories.emplace_back("SASRec", [&] {
+      return std::make_unique<models::SasRecModel>(prep.dataset, san);
+    });
+    factories.emplace_back("Bert4Rec", [&] {
+      return std::make_unique<models::Bert4RecModel>(prep.dataset, san);
+    });
+    factories.emplace_back("TiSASRec", [&] {
+      return std::make_unique<models::TiSasRecModel>(prep.dataset, san);
+    });
+    factories.emplace_back("GeoSAN", [&] {
+      return std::make_unique<models::GeoSanModel>(prep.dataset, st);
+    });
+    factories.emplace_back("STAN", [&] {
+      models::StanOptions so;
+      so.base = neural;
+      return std::make_unique<models::StanModel>(prep.dataset, so);
+    });
+    factories.emplace_back("STiSAN", [&] {
+      return std::make_unique<core::StisanModel>(prep.dataset, st);
+    });
+
+    double best_baseline_hr5 = 0.0;
+    double stisan_hr5 = 0.0;
+    for (auto& [label, make] : factories) {
+      auto model = make();
+      auto acc = bench::FitAndEvaluate(*model, prep);
+      bench::PrintMetricsRow(label, acc);
+      if (label == "STiSAN") {
+        stisan_hr5 = acc.HitRate(5);
+      } else {
+        best_baseline_hr5 = std::max(best_baseline_hr5, acc.HitRate(5));
+      }
+    }
+    if (best_baseline_hr5 > 0) {
+      std::printf("  STiSAN vs best baseline (HR@5): %+.1f%%\n\n",
+                  100.0 * (stisan_hr5 / best_baseline_hr5 - 1.0));
+    }
+  }
+  return 0;
+}

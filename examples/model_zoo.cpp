@@ -1,0 +1,133 @@
+// Model zoo: trains a selection of recommenders on one synthetic dataset
+// and prints a leaderboard, exercising the full public model API.
+//
+// Usage: model_zoo [--fast] [--all]
+//   --fast  tiny training budget (CI smoke)
+//   --all   include every baseline (default: the headline subset)
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/caser.h"
+#include "models/geosan.h"
+#include "models/gru4rec.h"
+#include "models/san_models.h"
+#include "models/shallow.h"
+#include "models/stan.h"
+#include "models/stgn.h"
+#include "util/stopwatch.h"
+
+using namespace stisan;
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  bool all = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strcmp(argv[i], "--all") == 0) all = true;
+  }
+
+  auto cfg = data::GowallaLikeConfig(fast ? 0.15 : 0.5);
+  data::Dataset dataset = data::GenerateSynthetic(cfg);
+  data::Split split = data::TrainTestSplit(dataset, {.max_seq_len = 32});
+  eval::CandidateGenerator candidates(dataset);
+  std::printf("dataset: %s\n", dataset.Stats().ToString().c_str());
+  std::printf("train windows: %zu, test instances: %zu\n\n",
+              split.train.size(), split.test.size());
+
+  train::TrainConfig tc;
+  tc.epochs = fast ? 2 : 8;
+  tc.num_negatives = 8;
+  tc.knn_neighborhood = 100;
+
+  models::NeuralOptions neural;
+  neural.dim = 32;
+  neural.dropout = 0.2f;
+  neural.train = tc;
+
+  models::SanOptions san;
+  san.base = neural;
+  san.num_blocks = 2;
+
+  core::StisanOptions stisan_opts;
+  stisan_opts.poi_dim = 24;
+  stisan_opts.geo.dim = 8;
+  stisan_opts.num_blocks = 2;
+  stisan_opts.train = tc;
+
+  using Factory =
+      std::pair<const char*, std::function<std::unique_ptr<
+                                 models::SequentialRecommender>()>>;
+  std::vector<Factory> factories;
+  factories.emplace_back("POP", [] { return std::make_unique<models::PopModel>(); });
+  if (all) {
+    factories.emplace_back("BPR", [] {
+      return std::make_unique<models::BprMfModel>();
+    });
+    factories.emplace_back("FPMC-LR", [] {
+      return std::make_unique<models::FpmcLrModel>();
+    });
+    factories.emplace_back("PRME-G", [] {
+      return std::make_unique<models::PrmeGModel>();
+    });
+    factories.emplace_back("GRU4Rec", [&] {
+      return std::make_unique<models::Gru4RecModel>(dataset, neural);
+    });
+    factories.emplace_back("STGN", [&] {
+      return std::make_unique<models::StgnModel>(dataset, neural);
+    });
+    factories.emplace_back("Caser", [&] {
+      models::CaserOptions co;
+      co.base = neural;
+      co.base.train.max_train_windows = fast ? 20 : 150;
+      return std::make_unique<models::CaserModel>(dataset, co);
+    });
+    factories.emplace_back("Bert4Rec", [&] {
+      return std::make_unique<models::Bert4RecModel>(dataset, san);
+    });
+    factories.emplace_back("TiSASRec", [&] {
+      return std::make_unique<models::TiSasRecModel>(dataset, san);
+    });
+  }
+  factories.emplace_back("SASRec", [&] {
+    return std::make_unique<models::SasRecModel>(dataset, san);
+  });
+  factories.emplace_back("STAN", [&] {
+    models::StanOptions so;
+    so.base = neural;
+    return std::make_unique<models::StanModel>(dataset, so);
+  });
+  factories.emplace_back("GeoSAN", [&] {
+    return std::make_unique<models::GeoSanModel>(dataset, stisan_opts);
+  });
+  factories.emplace_back("STiSAN", [&] {
+    return std::make_unique<core::StisanModel>(dataset, stisan_opts);
+  });
+
+  std::printf("%-10s %8s %8s %8s %8s %9s\n", "model", "HR@5", "NDCG@5",
+              "HR@10", "NDCG@10", "train(s)");
+  for (auto& [label, make] : factories) {
+    auto model = make();
+    Stopwatch watch;
+    model->Fit(dataset, split.train);
+    const double train_s = watch.ElapsedSeconds();
+    auto acc = eval::Evaluate(
+        [&](const data::EvalInstance& inst,
+            const std::vector<int64_t>& cands) {
+          return model->Score(inst, cands);
+        },
+        split.test, candidates, {});
+    std::printf("%-10s %8.4f %8.4f %8.4f %8.4f %9.1f\n", label,
+                acc.HitRate(5), acc.Ndcg(5), acc.HitRate(10), acc.Ndcg(10),
+                train_s);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces the paper's motivating example (Fig. 1): two users share the
+// exact same POI sequence "Hotel -> Park -> Restaurant -> Office -> Market"
+// but with different time intervals, and should therefore receive
+// different recommendations. An interval-blind model scores both users
+// identically; STiSAN (through TAPE and the relation matrix) does not.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/stisan.h"
+#include "core/tape.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+using namespace stisan;
+
+int main() {
+  // A small city to give the model a POI universe and training data.
+  auto cfg = data::GowallaLikeConfig(0.15);
+  data::Dataset dataset = data::GenerateSynthetic(cfg);
+  data::Split split = data::TrainTestSplit(dataset, {.max_seq_len = 8});
+
+  core::StisanOptions opts;
+  opts.num_blocks = 1;
+  opts.train.epochs = 3;
+  opts.train.num_negatives = 8;
+  opts.train.knn_neighborhood = 60;
+  core::StisanModel stisan(dataset, opts);
+
+  auto blind_opts = opts;
+  blind_opts.use_tape = false;  // vanilla PE: no interval information
+  blind_opts.attention_mode = core::AttentionMode::kVanilla;
+  core::StisanModel blind(dataset, blind_opts);
+
+  std::printf("training STiSAN and an interval-blind variant...\n");
+  stisan.Fit(dataset, split.train);
+  blind.Fit(dataset, split.train);
+
+  // ---- The Fig. 1 construction. ----
+  // Five shared POIs (hotel, park, restaurant, office, market) and two
+  // users whose check-in CLOCKS differ: user 1 has a long afternoon gap
+  // (7:00 7:30 11:30 14:30 18:00), user 2 checks in steadily
+  // (9:00 10:30 11:30 13:00 16:30), as in the figure.
+  const std::vector<int64_t> shared_pois = {5, 12, 31, 44, 2};
+  const double day = 86400.0;
+  auto at_hours = [&](std::initializer_list<double> hours) {
+    std::vector<double> t;
+    for (double h : hours) t.push_back(day * 100 + h * 3600.0);
+    return t;
+  };
+
+  data::EvalInstance user1;
+  user1.user = 0;
+  user1.poi = shared_pois;
+  user1.t = at_hours({7.0, 7.5, 11.5, 14.5, 18.0});
+  user1.first_real = 0;
+  user1.target_time = user1.t.back() + 3600.0;
+
+  data::EvalInstance user2 = user1;
+  user2.user = 1;
+  user2.t = at_hours({9.0, 10.5, 11.5, 13.0, 16.5});
+  user2.target_time = user2.t.back() + 3600.0;
+
+  // TAPE positions diverge while the POI order is identical.
+  auto p1 = core::TimeAwarePositions(user1.t);
+  auto p2 = core::TimeAwarePositions(user2.t);
+  std::printf("\nshared POI sequence: ");
+  for (int64_t p : shared_pois) std::printf("%lld ", (long long)p);
+  std::printf("\nTAPE positions user 1: ");
+  for (double p : p1) std::printf("%.2f ", p);
+  std::printf("\nTAPE positions user 2: ");
+  for (double p : p2) std::printf("%.2f ", p);
+
+  // Score a common candidate set with both models.
+  std::vector<int64_t> candidates;
+  for (int64_t poi = 1; poi <= 20; ++poi) candidates.push_back(poi);
+
+  auto l1_diff = [](const std::vector<float>& a,
+                    const std::vector<float>& b) {
+    float d = 0;
+    for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+    return d;
+  };
+  const float stisan_diff = l1_diff(stisan.Score(user1, candidates),
+                                    stisan.Score(user2, candidates));
+  const float blind_diff = l1_diff(blind.Score(user1, candidates),
+                                   blind.Score(user2, candidates));
+
+  std::printf(
+      "\n\nL1 difference between the two users' candidate scores:\n"
+      "  STiSAN (interval-aware):   %.4f\n"
+      "  interval-blind variant:    %.4f\n\n"
+      "paper (Fig. 1): the same POI sequence with different time intervals\n"
+      "must lead to different recommendations — only the interval-aware\n"
+      "model can tell the two users apart.\n",
+      stisan_diff, blind_diff);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "geo/geo.h"
+#include "util/string_util.h"
+
+namespace stisan::core {
+
+Explanation ExplainRecommendation(StisanModel& model,
+                                  const data::Dataset& dataset,
+                                  const data::EvalInstance& instance,
+                                  int64_t candidate, int64_t top_k) {
+  Explanation out;
+  out.candidate = candidate;
+  out.score = model.Score(instance, {candidate}).at(0);
+
+  const int64_t n = static_cast<int64_t>(instance.poi.size());
+  const auto& candidate_loc = dataset.poi_location(candidate);
+  const auto& current_loc =
+      dataset.poi_location(instance.poi[static_cast<size_t>(n - 1)]);
+  out.km_from_current = geo::HaversineKm(current_loc, candidate_loc);
+
+  // Final-step attention over the history from the encoder stack.
+  Tensor map =
+      model.AverageAttentionMap(instance.poi, instance.t, instance.first_real);
+  std::vector<ExplanationStep> steps;
+  for (int64_t j = instance.first_real; j < n; ++j) {
+    ExplanationStep step;
+    step.step = j;
+    step.poi = instance.poi[static_cast<size_t>(j)];
+    step.attention = map.at({n - 1, j});
+    step.hours_before =
+        (instance.t[static_cast<size_t>(n - 1)] -
+         instance.t[static_cast<size_t>(j)]) /
+        3600.0;
+    step.km_to_candidate =
+        geo::HaversineKm(dataset.poi_location(step.poi), candidate_loc);
+    steps.push_back(step);
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const ExplanationStep& a, const ExplanationStep& b) {
+              return a.attention > b.attention;
+            });
+  if (static_cast<int64_t>(steps.size()) > top_k) {
+    steps.resize(static_cast<size_t>(top_k));
+  }
+  out.attended = std::move(steps);
+  return out;
+}
+
+std::string FormatExplanation(const Explanation& e) {
+  std::string out = StrFormat(
+      "candidate POI %lld: score %.3f (%.2f km from current location)\n"
+      "most influential history check-ins:\n",
+      static_cast<long long>(e.candidate), double(e.score),
+      e.km_from_current);
+  for (const auto& s : e.attended) {
+    out += StrFormat(
+        "  step %2lld: POI %-5lld attention %.3f  (%.1f h ago, %.2f km from "
+        "candidate)\n",
+        static_cast<long long>(s.step), static_cast<long long>(s.poi),
+        s.attention, s.hours_before, s.km_to_candidate);
+  }
+  return out;
+}
+
+}  // namespace stisan::core

@@ -1,0 +1,47 @@
+// Recommendation explanations (the paper's interpretability claim, §IV-E
+// 3/4, made operational): for a trained STiSAN and a candidate POI, report
+// which history check-ins the model attended to, together with their
+// spatial and temporal intervals — the quantities IAAB injects into the
+// attention map.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/types.h"
+
+namespace stisan::core {
+
+/// One attended history step and why it matters.
+struct ExplanationStep {
+  int64_t step = 0;           // index in the source window
+  int64_t poi = 0;            // the visited POI
+  double attention = 0.0;     // final-step encoder attention weight
+  double hours_before = 0.0;  // time before the most recent check-in
+  double km_to_candidate = 0.0;
+};
+
+/// Explanation of one candidate's score.
+struct Explanation {
+  int64_t candidate = 0;
+  float score = 0.0f;
+  /// History steps sorted by descending attention (top_k of them).
+  std::vector<ExplanationStep> attended;
+  /// Distance from the most recent check-in to the candidate (km).
+  double km_from_current = 0.0;
+};
+
+/// Builds an explanation for `candidate` given the instance's history.
+/// `top_k` bounds the number of attended steps returned.
+Explanation ExplainRecommendation(StisanModel& model,
+                                  const data::Dataset& dataset,
+                                  const data::EvalInstance& instance,
+                                  int64_t candidate, int64_t top_k = 5);
+
+/// Human-readable multi-line rendering.
+std::string FormatExplanation(const Explanation& explanation);
+
+}  // namespace stisan::core

@@ -1,0 +1,128 @@
+#include "core/geo_encoder.h"
+
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace stisan::core {
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kKmPerDegLat = 111.32;
+
+// Equirectangular (x, y) km offsets from a reference point — accurate at
+// city scale, cheap, and monotone in true distance.
+void ToKmOffsets(const geo::GeoPoint& p, const geo::GeoPoint& ref, double* x,
+                 double* y) {
+  *y = (p.lat - ref.lat) * kKmPerDegLat;
+  *x = (p.lon - ref.lon) * kKmPerDegLat * std::cos(ref.lat * kDegToRad);
+}
+
+}  // namespace
+
+GeoEncoder::GeoEncoder(const data::Dataset& dataset,
+                       const GeoEncoderOptions& options, Rng& rng)
+    : options_(options),
+      fourier_dim_([&] {
+        int64_t f = options.fourier_dim >= 0 ? options.fourier_dim
+                                             : options.dim / 2;
+        f -= f % 2;  // sin/cos pairs
+        STISAN_CHECK_LT(f, options.dim);  // keep at least one learned dim
+        return f;
+      }()),
+      ngram_dim_(options.dim - fourier_dim_),
+      tokens_per_poi_(options.quadkey_level - options.ngram + 1),
+      token_embedding_(geo::QuadKeyNgramVocabSize(options.ngram) + 1,
+                       ngram_dim_, rng, /*padding_idx=*/0) {
+  STISAN_CHECK_GT(tokens_per_poi_, 0);
+  STISAN_CHECK(!options_.scales_km.empty());
+  RegisterModule(&token_embedding_);
+  const int64_t num_pois = dataset.num_pois();
+
+  // ---- Fixed Fourier features ----
+  // Reference point: centroid of all POI coordinates.
+  geo::GeoPoint ref{0, 0};
+  if (num_pois > 0) {
+    for (int64_t p = 1; p <= num_pois; ++p) {
+      ref.lat += dataset.poi_location(p).lat;
+      ref.lon += dataset.poi_location(p).lon;
+    }
+    ref.lat /= double(num_pois);
+    ref.lon /= double(num_pois);
+  }
+  // Random unit directions with magnitudes 1/scale, deterministic given the
+  // model seed (drawn from `rng`, which the caller seeds).
+  const int64_t num_freq = fourier_dim_ / 2;
+  std::vector<double> wx(num_freq), wy(num_freq);
+  for (int64_t k = 0; k < num_freq; ++k) {
+    const double theta = rng.Uniform() * 2.0 * M_PI;
+    const double scale =
+        options_.scales_km[static_cast<size_t>(k) % options_.scales_km.size()];
+    wx[static_cast<size_t>(k)] = std::cos(theta) / scale;
+    wy[static_cast<size_t>(k)] = std::sin(theta) / scale;
+  }
+  // Scale features so the per-POI Fourier block has unit-ish norm.
+  const float amp =
+      num_freq > 0 ? 1.0f / std::sqrt(static_cast<float>(num_freq)) : 0.0f;
+  fourier_.assign(static_cast<size_t>((num_pois + 1) * fourier_dim_), 0.0f);
+  for (int64_t p = 1; p <= num_pois; ++p) {
+    double x = 0, y = 0;
+    ToKmOffsets(dataset.poi_location(p), ref, &x, &y);
+    float* row = fourier_.data() + p * fourier_dim_;
+    for (int64_t k = 0; k < num_freq; ++k) {
+      const double phase = wx[static_cast<size_t>(k)] * x +
+                           wy[static_cast<size_t>(k)] * y;
+      row[2 * k] = amp * static_cast<float>(std::sin(phase));
+      row[2 * k + 1] = amp * static_cast<float>(std::cos(phase));
+    }
+  }
+
+  // ---- Quadkey n-gram tokens ----
+  poi_tokens_.assign(
+      static_cast<size_t>((num_pois + 1) * tokens_per_poi_), 0);
+  for (int64_t p = 1; p <= num_pois; ++p) {
+    const auto quadkey =
+        geo::ToQuadKey(dataset.poi_location(p), options_.quadkey_level);
+    const auto tokens = geo::QuadKeyNgramTokens(quadkey, options_.ngram);
+    STISAN_CHECK_EQ(static_cast<int64_t>(tokens.size()), tokens_per_poi_);
+    for (int64_t k = 0; k < tokens_per_poi_; ++k) {
+      // +1 shifts past the padding token id 0.
+      poi_tokens_[static_cast<size_t>(p * tokens_per_poi_ + k)] =
+          tokens[static_cast<size_t>(k)] + 1;
+    }
+  }
+}
+
+Tensor GeoEncoder::Forward(const std::vector<int64_t>& pois) const {
+  const int64_t m = static_cast<int64_t>(pois.size());
+
+  // Fixed Fourier block (constant tensor, no gradient).
+  Tensor fourier = Tensor::Zeros({m, fourier_dim_});
+  float* fd = fourier.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t poi = pois[static_cast<size_t>(i)];
+    STISAN_CHECK_GE(poi, 0);
+    STISAN_CHECK_LT(poi * fourier_dim_,
+                    static_cast<int64_t>(fourier_.size()) + 1);
+    const float* src = fourier_.data() + poi * fourier_dim_;
+    for (int64_t k = 0; k < fourier_dim_; ++k) fd[i * fourier_dim_ + k] = src[k];
+  }
+
+  // Learned n-gram block: [m * tokens, g] -> mean over tokens -> [m, g].
+  std::vector<int64_t> flat;
+  flat.reserve(static_cast<size_t>(m * tokens_per_poi_));
+  for (int64_t poi : pois) {
+    for (int64_t k = 0; k < tokens_per_poi_; ++k) {
+      flat.push_back(
+          poi_tokens_[static_cast<size_t>(poi * tokens_per_poi_ + k)]);
+    }
+  }
+  Tensor embedded = token_embedding_.Forward(flat);
+  Tensor grouped = ops::Reshape(embedded, {m, tokens_per_poi_, ngram_dim_});
+  Tensor ngram = ops::MulScalar(ops::SumDim(grouped, 1),
+                                1.0f / static_cast<float>(tokens_per_poi_));
+  if (fourier_dim_ == 0) return ngram;
+  return ops::Concat(fourier, ngram, /*dim=*/1);
+}
+
+}  // namespace stisan::core

@@ -1,0 +1,72 @@
+// Geography encoder for the embedding module (paper §III-B, following
+// GeoSAN [23]).
+//
+// Two complementary components, concatenated:
+//
+//  1. Fixed random Fourier position features: each POI's (x, y) offset (km)
+//     from the dataset centroid is passed through sin/cos of random
+//     projections at several length scales. By construction the dot product
+//     of two POIs' features approximates a kernel that decays with their
+//     physical distance — so spatial proximity is usable by the matching
+//     layers from the very first training step.
+//  2. Learned quadkey n-gram embeddings: the POI's Web-Mercator quadkey is
+//     tokenised into overlapping n-grams and their embeddings are mean
+//     pooled. Nearby POIs share prefix tokens, so the learned component
+//     generalises across space while still being able to memorise
+//     POI-specific geography.
+//
+// (GeoSAN trains a self-attention encoder over the n-gram sequence on
+// millions of check-ins; the fixed-kernel + mean-pooling combination here is
+// the documented CPU-scale substitution — see DESIGN.md.)
+
+#pragma once
+
+#include <vector>
+
+#include "data/types.h"
+#include "geo/quadkey.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace stisan::core {
+
+struct GeoEncoderOptions {
+  /// Total output dimension (Fourier part + n-gram part).
+  int64_t dim = 16;
+  /// Dimension of the fixed Fourier part; -1 = dim / 2 (rounded to even).
+  int64_t fourier_dim = -1;
+  /// Length scales (km) of the Fourier frequencies, cycled across pairs.
+  std::vector<double> scales_km = {0.5, 1.5, 4.0, 10.0};
+  int quadkey_level = 17;  // ~300 m tiles
+  int ngram = 6;           // token vocab 4^6 = 4096 (+1 padding)
+};
+
+/// Embeds POI locations. All per-POI features are precomputed from the
+/// dataset once; lookups at train/eval time are pure tensor ops.
+class GeoEncoder : public nn::Module {
+ public:
+  GeoEncoder(const data::Dataset& dataset, const GeoEncoderOptions& options,
+             Rng& rng);
+
+  /// Returns [pois.size(), dim]; padding POIs map to zero vectors.
+  Tensor Forward(const std::vector<int64_t>& pois) const;
+
+  int64_t dim() const { return options_.dim; }
+  int64_t fourier_dim() const { return fourier_dim_; }
+  int64_t tokens_per_poi() const { return tokens_per_poi_; }
+
+ private:
+  GeoEncoderOptions options_;
+  int64_t fourier_dim_ = 0;
+  int64_t ngram_dim_ = 0;
+  int64_t tokens_per_poi_ = 0;
+  /// Precomputed fixed Fourier features, [num_pois+1, fourier_dim]
+  /// (row 0 = padding = zeros), stored flat.
+  std::vector<float> fourier_;
+  /// Flattened n-gram token ids: POI p occupies
+  /// [p * tokens_per_poi, (p+1) * tokens_per_poi); token 0 = padding.
+  std::vector<int64_t> poi_tokens_;
+  nn::Embedding token_embedding_;
+};
+
+}  // namespace stisan::core

@@ -1,0 +1,92 @@
+#include "core/relation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/types.h"
+#include "util/check.h"
+
+namespace stisan::core {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+Tensor BuildRelationMatrix(const std::vector<int64_t>& pois,
+                           const std::vector<double>& timestamps,
+                           const std::vector<geo::GeoPoint>& coords,
+                           int64_t first_real,
+                           const RelationOptions& options) {
+  const int64_t n = static_cast<int64_t>(pois.size());
+  STISAN_CHECK_EQ(n, static_cast<int64_t>(timestamps.size()));
+  STISAN_CHECK_EQ(n, static_cast<int64_t>(coords.size()));
+  STISAN_CHECK_GE(options.kt_days, 0.0);
+  STISAN_CHECK_GE(options.kd_km, 0.0);
+
+  Tensor r = Tensor::Zeros({n, n});
+  float* rd = r.data();
+
+  // First pass: clipped interval sums r_hat for causal, non-padding pairs.
+  double r_hat_max = 0.0;
+  for (int64_t i = first_real; i < n; ++i) {
+    for (int64_t j = first_real; j <= i; ++j) {
+      const double dt = std::min(
+          options.kt_days,
+          std::fabs(timestamps[size_t(i)] - timestamps[size_t(j)]) /
+              kSecondsPerDay);
+      const double dd = std::min(
+          options.kd_km,
+          geo::HaversineKm(coords[size_t(i)], coords[size_t(j)]));
+      const double r_hat = dt + dd;
+      rd[i * n + j] = static_cast<float>(r_hat);
+      r_hat_max = std::max(r_hat_max, r_hat);
+    }
+  }
+  // Second pass: invert, r = r_hat_max - r_hat.
+  for (int64_t i = first_real; i < n; ++i) {
+    for (int64_t j = first_real; j <= i; ++j) {
+      rd[i * n + j] = static_cast<float>(r_hat_max) - rd[i * n + j];
+    }
+  }
+  return r;
+}
+
+Tensor SoftmaxScaleRelation(const Tensor& relation, int64_t first_real) {
+  STISAN_CHECK_EQ(relation.dim(), 2);
+  const int64_t n = relation.size(0);
+  STISAN_CHECK_EQ(relation.size(1), n);
+  Tensor out = Tensor::Zeros({n, n});
+  const float* in = relation.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = i < first_real ? i : first_real;  // pad rows: self only
+    const int64_t hi = i;  // inclusive
+    // Numerically stable softmax over columns [lo, hi].
+    float mx = in[i * n + lo];
+    for (int64_t j = lo; j <= hi; ++j) mx = std::max(mx, in[i * n + j]);
+    float sum = 0.0f;
+    for (int64_t j = lo; j <= hi; ++j) sum += std::exp(in[i * n + j] - mx);
+    for (int64_t j = lo; j <= hi; ++j) {
+      od[i * n + j] = std::exp(in[i * n + j] - mx) / sum;
+    }
+  }
+  return out;
+}
+
+Tensor BuildPaddedCausalMask(int64_t n, int64_t first_real) {
+  STISAN_CHECK_GE(first_real, 0);
+  STISAN_CHECK_LE(first_real, n);
+  Tensor mask = Tensor::Zeros({n, n});
+  float* m = mask.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const bool causal = j <= i;
+      const bool real_key = j >= first_real;
+      const bool self = j == i;
+      if (!(causal && (real_key || self))) m[i * n + j] = -1e9f;
+    }
+  }
+  return mask;
+}
+
+}  // namespace stisan::core

@@ -1,0 +1,52 @@
+// Spatial-temporal relation matrix R — paper §III-D, eq. 4.
+//
+// For every causal pair (i, j), j <= i:
+//
+//   dt_ij = min(k_t, |t_i - t_j|)          (clipped time interval, days)
+//   dd_ij = min(k_d, Haversine(g_i, g_j))  (clipped geo interval, km)
+//   r_hat_ij = dt_ij + dd_ij
+//   r_ij = r_hat_max - r_hat_ij            (relations inverse to intervals)
+//
+// The matrix is lower-triangular (no information leakage). IAAB consumes a
+// row-softmax-scaled version added point-wise to the attention logits.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+#include "tensor/tensor.h"
+
+namespace stisan::core {
+
+struct RelationOptions {
+  /// Maximum time interval k_t, in days (paper sweeps {0, 5, 10, 20}).
+  double kt_days = 10.0;
+  /// Maximum geography interval k_d, in kilometres ({0, 5, 10, 15}).
+  double kd_km = 15.0;
+};
+
+/// Builds the raw lower-triangular relation matrix [n, n].
+///
+/// Pairs involving a padding position (index < first_real) get relation 0
+/// (least related); the attention padding mask hides them anyway. Entries
+/// strictly above the diagonal are 0 and must be masked by the caller.
+Tensor BuildRelationMatrix(const std::vector<int64_t>& pois,
+                           const std::vector<double>& timestamps,
+                           const std::vector<geo::GeoPoint>& coords,
+                           int64_t first_real,
+                           const RelationOptions& options);
+
+/// Row-softmax over the causal (lower-triangle, non-padding) entries: the
+/// scaling the paper applies before the point-wise addition (Fig. 3).
+/// Masked entries come out as exactly 0. Rows entirely inside the padding
+/// prefix degenerate to attending their own position.
+Tensor SoftmaxScaleRelation(const Tensor& relation, int64_t first_real);
+
+/// Builds the additive attention mask for a head-padded causal sequence:
+/// entry (i, j) is 0 when j <= i and j >= first_real (or j == i, so padding
+/// rows still have one live key), else -1e9.
+Tensor BuildPaddedCausalMask(int64_t n, int64_t first_real);
+
+}  // namespace stisan::core

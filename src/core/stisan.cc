@@ -1,0 +1,274 @@
+#include "core/stisan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/taad.h"
+#include "train/loss.h"
+#include "train/lr_schedule.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace stisan::core {
+namespace {
+
+// Gathers coordinates for a POI window (padding POIs keep the origin; the
+// relation builder never reads them).
+std::vector<geo::GeoPoint> WindowCoords(const data::Dataset& dataset,
+                                        const std::vector<int64_t>& pois) {
+  std::vector<geo::GeoPoint> coords(pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    if (pois[i] != data::kPaddingPoi) {
+      coords[i] = dataset.poi_location(pois[i]);
+    }
+  }
+  return coords;
+}
+
+// A constant [m, n] row-selection matrix mapping candidate rows to their
+// encoder step (used when TAAD is ablated).
+Tensor StepSelector(const std::vector<int64_t>& step_of_row, int64_t n) {
+  const int64_t m = static_cast<int64_t>(step_of_row.size());
+  Tensor sel = Tensor::Zeros({m, n});
+  float* s = sel.data();
+  for (int64_t r = 0; r < m; ++r) {
+    s[r * n + step_of_row[static_cast<size_t>(r)]] = 1.0f;
+  }
+  return sel;
+}
+
+}  // namespace
+
+StisanModel::StisanModel(const data::Dataset& dataset,
+                         const StisanOptions& options)
+    : dataset_(&dataset),
+      options_(options),
+      dim_(options.poi_dim + options.geo.dim),
+      score_scale_(1.0f / std::sqrt(static_cast<float>(
+          options.poi_dim + options.geo.dim))),
+      rng_(options.train.seed),
+      poi_embedding_(dataset.num_pois() + 1,
+                     options.use_geo_encoder ? options.poi_dim : dim_, rng_,
+                     /*padding_idx=*/data::kPaddingPoi),
+      embed_dropout_(options.dropout) {
+  STISAN_CHECK_GT(options.poi_dim, 0);
+  STISAN_CHECK_GT(options.geo.dim, 0);
+  RegisterModule(&poi_embedding_);
+  RegisterModule(&embed_dropout_);
+  if (options_.use_geo_encoder) {
+    geo_encoder_ = std::make_unique<GeoEncoder>(dataset, options_.geo, rng_);
+    RegisterModule(geo_encoder_.get());
+  }
+  IaabOptions block;
+  block.dim = dim_;
+  block.ffn_hidden =
+      options_.ffn_hidden > 0 ? options_.ffn_hidden : 2 * dim_;
+  block.dropout = options_.dropout;
+  block.mode = options_.attention_mode;
+  encoder_ = std::make_unique<IaabEncoder>(block, options_.num_blocks, rng_);
+  RegisterModule(encoder_.get());
+
+  if (options_.knn_negatives) {
+    sampler_ = std::make_unique<train::KnnNegativeSampler>(
+        dataset, options_.train.knn_neighborhood);
+  } else {
+    sampler_ =
+        std::make_unique<train::UniformNegativeSampler>(dataset.num_pois());
+  }
+}
+
+std::string StisanModel::name() const {
+  if (!options_.use_geo_encoder) return "STiSAN-GE";
+  if (!options_.use_tape) return "STiSAN-TAPE";
+  if (options_.attention_mode == AttentionMode::kVanilla)
+    return "STiSAN-IAAB";
+  if (options_.attention_mode == AttentionMode::kRelationOnly)
+    return "STiSAN-SA";
+  if (!options_.use_taad) return "STiSAN-TAAD";
+  return "STiSAN";
+}
+
+Tensor StisanModel::Embed(const std::vector<int64_t>& pois) const {
+  Tensor poi_emb = poi_embedding_.Forward(pois);
+  Tensor e = poi_emb;
+  if (options_.use_geo_encoder) {
+    Tensor geo_emb = geo_encoder_->Forward(pois);
+    e = ops::Concat(poi_emb, geo_emb, /*dim=*/1);
+  }
+  // Standard Transformer embedding scaling (x sqrt(d)): keeps the additive
+  // positional encoding from dominating the content signal.
+  return ops::MulScalar(e, std::sqrt(static_cast<float>(dim_)));
+}
+
+Tensor StisanModel::RelationBias(const std::vector<int64_t>& pois,
+                                 const std::vector<double>& timestamps,
+                                 int64_t first_real) const {
+  if (options_.attention_mode == AttentionMode::kVanilla) return Tensor();
+  Tensor raw = BuildRelationMatrix(pois, timestamps,
+                                   WindowCoords(*dataset_, pois), first_real,
+                                   options_.relation);
+  return SoftmaxScaleRelation(raw, first_real);
+}
+
+Tensor StisanModel::Encode(const std::vector<int64_t>& pois,
+                           const std::vector<double>& timestamps,
+                           int64_t first_real, Rng& rng) const {
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor e = Embed(pois);
+  e = options_.use_tape ? ApplyTape(e, timestamps, first_real)
+                        : ApplyVanillaPe(e);
+  e = embed_dropout_.Forward(e, rng);
+  Tensor bias = RelationBias(pois, timestamps, first_real);
+  Tensor mask = BuildPaddedCausalMask(n, first_real);
+  return encoder_->Forward(e, bias, mask, rng);
+}
+
+Tensor StisanModel::Preferences(const Tensor& candidate_emb,
+                                const Tensor& encoder_out,
+                                const std::vector<int64_t>& step_of_row,
+                                int64_t first_real) const {
+  if (options_.use_taad) {
+    return TaadDecode(candidate_emb, encoder_out, step_of_row, first_real);
+  }
+  // Variant V: match encoder states with candidates directly (eq. 17).
+  return ops::MatMul(StepSelector(step_of_row, encoder_out.size(0)),
+                     encoder_out);
+}
+
+void StisanModel::Fit(const data::Dataset& dataset,
+                      const std::vector<data::TrainWindow>& train) {
+  STISAN_CHECK_EQ(&dataset, dataset_);
+  const auto& cfg = options_.train;
+  const int64_t num_negatives = cfg.num_negatives;
+
+  Adam optimizer(Parameters(), {.lr = cfg.lr});
+  SetTraining(true);
+
+  // Optional cosine learning-rate decay over the whole run.
+  const int64_t windows_per_epoch =
+      cfg.max_train_windows > 0
+          ? std::min<int64_t>(cfg.max_train_windows,
+                              static_cast<int64_t>(train.size()))
+          : static_cast<int64_t>(train.size());
+  const int64_t total_steps = std::max<int64_t>(
+      1, cfg.epochs * windows_per_epoch /
+             std::max<int64_t>(1, cfg.batch_size));
+  train::CosineLr schedule(cfg.lr, total_steps, cfg.lr * 0.1f,
+                           std::min<int64_t>(total_steps / 20, 50));
+  int64_t opt_step = 0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Stopwatch watch;
+  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+    int64_t in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      if (cfg.max_train_windows > 0 && seen >= cfg.max_train_windows) break;
+      const data::TrainWindow& w = train[idx];
+      const int64_t n = static_cast<int64_t>(w.poi.size()) - 1;
+      const int64_t first_real = std::min<int64_t>(w.first_real, n - 1);
+
+      // Source sequence is the window minus its last visit.
+      std::vector<int64_t> src_poi(w.poi.begin(), w.poi.end() - 1);
+      std::vector<double> src_t(w.t.begin(), w.t.end() - 1);
+      Tensor f = Encode(src_poi, src_t, first_real, rng_);
+
+      // Per-step candidates: target poi[i+1] plus L KNN negatives.
+      std::vector<int64_t> cand_ids;
+      std::vector<int64_t> step_of_row;
+      for (int64_t i = first_real; i < n; ++i) {
+        const int64_t target = w.poi[static_cast<size_t>(i + 1)];
+        STISAN_CHECK_NE(target, data::kPaddingPoi);
+        cand_ids.push_back(target);
+        step_of_row.push_back(i);
+        const auto negs =
+            sampler_->Sample(target, num_negatives, {target}, rng_);
+        for (int64_t neg : negs) {
+          cand_ids.push_back(neg);
+          step_of_row.push_back(i);
+        }
+      }
+      const int64_t m = n - first_real;
+      Tensor c = Embed(cand_ids);
+      Tensor s = Preferences(c, f, step_of_row, first_real);
+      // 1/sqrt(d) keeps the logits in the sigmoid's sensitive range (the
+      // raw inner products scale with the embedding dimension).
+      Tensor scores = ops::Reshape(
+          ops::MulScalar(MatchScores(s, c), score_scale_),
+          {m, num_negatives + 1});
+      Tensor pos = ops::Reshape(ops::Slice(scores, 1, 0, 1), {m});
+      Tensor neg = ops::Slice(scores, 1, 1, num_negatives + 1);
+      Tensor loss = train::WeightedBceLoss(pos, neg, cfg.temperature);
+
+      // Gradient accumulation: average over batch_size windows per step.
+      const int64_t bsz = std::max<int64_t>(1, cfg.batch_size);
+      ops::MulScalar(loss, 1.0f / float(bsz)).Backward();
+      epoch_loss += loss.data()[0];
+      ++seen;
+      if (++in_batch == bsz) {
+        if (cfg.cosine_decay) optimizer.SetLr(schedule.Lr(opt_step));
+        ++opt_step;
+        optimizer.ClipGradNorm(cfg.grad_clip);
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(cfg.grad_clip);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    last_epoch_loss_ =
+        seen > 0 ? static_cast<float>(epoch_loss / double(seen)) : 0.0f;
+    if (cfg.on_epoch &&
+        !cfg.on_epoch({.epoch = epoch, .loss = last_epoch_loss_})) {
+      break;
+    }
+    if (cfg.verbose) {
+      STISAN_LOG(INFO) << name() << " epoch " << (epoch + 1) << "/"
+                       << cfg.epochs << " loss " << last_epoch_loss_ << " ("
+                       << watch.ElapsedSeconds() << "s)";
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<float> StisanModel::Score(const data::EvalInstance& instance,
+                                      const std::vector<int64_t>& candidates) {
+  NoGradGuard no_grad;
+  SetTraining(false);
+  const int64_t n = static_cast<int64_t>(instance.poi.size());
+  Tensor f = Encode(instance.poi, instance.t, instance.first_real, rng_);
+  Tensor c = Embed(candidates);
+  std::vector<int64_t> step_of_row(candidates.size(), n - 1);
+  Tensor s = Preferences(c, f, step_of_row, instance.first_real);
+  return ops::MulScalar(MatchScores(s, c), score_scale_).ToVector();
+}
+
+Tensor StisanModel::AverageAttentionMap(const std::vector<int64_t>& pois,
+                                        const std::vector<double>& timestamps,
+                                        int64_t first_real) {
+  NoGradGuard no_grad;
+  SetTraining(false);
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor e = Embed(pois);
+  e = options_.use_tape ? ApplyTape(e, timestamps, first_real)
+                        : ApplyVanillaPe(e);
+  Tensor bias = RelationBias(pois, timestamps, first_real);
+  Tensor mask = BuildPaddedCausalMask(n, first_real);
+  auto maps = encoder_->AttentionMaps(e, bias, mask, rng_);
+  STISAN_CHECK(!maps.empty());
+  Tensor avg = maps[0];
+  for (size_t i = 1; i < maps.size(); ++i) avg = avg + maps[i];
+  return ops::MulScalar(avg, 1.0f / static_cast<float>(maps.size()));
+}
+
+}  // namespace stisan::core

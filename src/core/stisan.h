@@ -1,0 +1,116 @@
+// STiSAN — the end-to-end Spatial-Temporal Interval Aware sequential POI
+// recommender (paper §III, Fig. 3).
+//
+// Pipeline: Embedding (POI embedding ⧺ geography encoding) -> TAPE ->
+// N stacked IAABs -> TAAD -> inner-product matching, trained with the
+// importance-weighted BCE loss over KNN negatives (eq. 12).
+//
+// Every component can be switched off independently, reproducing the
+// ablation variants of Table IV.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geo_encoder.h"
+#include "core/iaab.h"
+#include "core/relation.h"
+#include "core/tape.h"
+#include "data/types.h"
+#include "models/recommender.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "train/config.h"
+#include "train/negative_sampler.h"
+
+namespace stisan::core {
+
+struct StisanOptions {
+  /// POI embedding dimension (paper: 128).
+  int64_t poi_dim = 24;
+  /// Geography encoding dimension (paper: 128); d = poi_dim + geo_dim.
+  GeoEncoderOptions geo = {.dim = 8, .quadkey_level = 17, .ngram = 6};
+  /// Number of stacked IAABs N (paper: 4).
+  int64_t num_blocks = 2;
+  /// FFN hidden dim d_h (> d); 0 means 2 * d.
+  int64_t ffn_hidden = 0;
+  float dropout = 0.2f;
+  RelationOptions relation;
+
+  // ---- Ablation switches (paper Table IV) ----
+  bool use_geo_encoder = true;  // variant I "Remove GE"
+  bool use_tape = true;         // variant II "Remove TAPE" (vanilla PE)
+  AttentionMode attention_mode =
+      AttentionMode::kIntervalAware;  // III: kVanilla, IV: kRelationOnly
+  bool use_taad = true;               // variant V "Remove TAAD"
+
+  /// Use the KNN importance sampler (paper); false = uniform negatives.
+  bool knn_negatives = true;
+
+  train::TrainConfig train;
+};
+
+/// The full model. Construct per dataset (embeddings size with the POI set).
+class StisanModel : public models::SequentialRecommender, public nn::Module {
+ public:
+  StisanModel(const data::Dataset& dataset, const StisanOptions& options);
+
+  std::string name() const override;
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::TrainWindow>& train) override;
+  std::vector<float> Score(const data::EvalInstance& instance,
+                           const std::vector<int64_t>& candidates) override;
+
+  /// Mean training loss of the most recent epoch (for tests / logging).
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  int64_t model_dim() const { return dim_; }
+  const StisanOptions& options() const { return options_; }
+
+  // ---- Introspection for the visualisation benches (Fig. 5 / Fig. 7) ----
+
+  /// Runs the embedding + position encoding + encoder stack on a source
+  /// sequence and returns the post-softmax attention map of every block,
+  /// averaged across blocks.
+  Tensor AverageAttentionMap(const std::vector<int64_t>& pois,
+                             const std::vector<double>& timestamps,
+                             int64_t first_real);
+
+ private:
+  /// Embeds a POI id sequence: POI embedding ⧺ geography encoding.
+  Tensor Embed(const std::vector<int64_t>& pois) const;
+
+  /// Full encoder pass over a source sequence (no dropout when eval).
+  Tensor Encode(const std::vector<int64_t>& pois,
+                const std::vector<double>& timestamps, int64_t first_real,
+                Rng& rng) const;
+
+  /// Relation bias (softmax-scaled R) or undefined in kVanilla mode.
+  Tensor RelationBias(const std::vector<int64_t>& pois,
+                      const std::vector<double>& timestamps,
+                      int64_t first_real) const;
+
+  /// Preference vectors for candidate rows (TAAD or plain encoder states).
+  Tensor Preferences(const Tensor& candidate_emb, const Tensor& encoder_out,
+                     const std::vector<int64_t>& step_of_row,
+                     int64_t first_real) const;
+
+  const data::Dataset* dataset_;
+  StisanOptions options_;
+  int64_t dim_;
+  float score_scale_;  // 1/sqrt(d): keeps match logits in a trainable range
+  Rng rng_;
+
+  nn::Embedding poi_embedding_;
+  std::unique_ptr<GeoEncoder> geo_encoder_;
+  nn::Dropout embed_dropout_;
+  std::unique_ptr<IaabEncoder> encoder_;
+  std::unique_ptr<train::NegativeSampler> sampler_;
+
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace stisan::core

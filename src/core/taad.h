@@ -1,0 +1,34 @@
+// Target Aware Attention Decoder (TAAD) — paper §III-F, eq. 10.
+//
+// The decoder improves preference representations by attending from each
+// candidate POI embedding over the encoder output:
+//
+//   S = Attn(C, F, F) = Softmax(C F^T / sqrt(d)) F
+//
+// It is parameter-free. During training the prediction at step i may only
+// attend to encoder states 1..i (same leakage mask as the encoder); each
+// candidate row therefore carries the step it belongs to.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stisan::core {
+
+/// Decodes preference vectors for a batch of per-step candidates.
+///
+/// candidates: [M, d] candidate embeddings; encoder_out: [n, d];
+/// step_of_row[r] = the source step i of row r (keys first_real..i are
+/// visible). Returns S: [M, d].
+Tensor TaadDecode(const Tensor& candidates, const Tensor& encoder_out,
+                  const std::vector<int64_t>& step_of_row,
+                  int64_t first_real);
+
+/// Matching function (paper eq. 11): per-row inner product
+/// y_r = <S_r, C_r>. Returns [M].
+Tensor MatchScores(const Tensor& preferences, const Tensor& candidates);
+
+}  // namespace stisan::core

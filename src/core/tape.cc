@@ -1,0 +1,52 @@
+#include "core/tape.h"
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "util/check.h"
+
+namespace stisan::core {
+
+std::vector<double> TimeAwarePositions(const std::vector<double>& timestamps,
+                                       int64_t first_real) {
+  const int64_t n = static_cast<int64_t>(timestamps.size());
+  STISAN_CHECK_GE(n, 1);
+  STISAN_CHECK_GE(first_real, 0);
+  STISAN_CHECK_LT(first_real, n);
+
+  // Mean interval over the real suffix (eq. 2's normaliser).
+  double mean_dt = 0.0;
+  int64_t real_gaps = 0;
+  for (int64_t k = first_real + 1; k < n; ++k) {
+    const double dt = timestamps[size_t(k)] - timestamps[size_t(k - 1)];
+    STISAN_CHECK_GE(dt, 0.0);  // sequences are chronological
+    mean_dt += dt;
+    ++real_gaps;
+  }
+  if (real_gaps > 0) mean_dt /= double(real_gaps);
+
+  std::vector<double> pos(static_cast<size_t>(n));
+  pos[0] = 1.0;
+  for (int64_t k = 1; k < n; ++k) {
+    const double dt = timestamps[size_t(k)] - timestamps[size_t(k - 1)];
+    // Degenerate spans (all same timestamp) -> vanilla integer positions.
+    const double stretched = mean_dt > 1e-9 ? dt / mean_dt : 0.0;
+    pos[size_t(k)] = pos[size_t(k - 1)] + stretched + 1.0;
+  }
+  return pos;
+}
+
+Tensor ApplyTape(const Tensor& x, const std::vector<double>& timestamps,
+                 int64_t first_real) {
+  STISAN_CHECK_EQ(x.dim(), 2);
+  STISAN_CHECK_EQ(x.size(0), static_cast<int64_t>(timestamps.size()));
+  const auto pos = TimeAwarePositions(timestamps, first_real);
+  return x + nn::SinusoidalEncoding(pos, x.size(1));
+}
+
+Tensor ApplyVanillaPe(const Tensor& x) {
+  STISAN_CHECK_EQ(x.dim(), 2);
+  return x + nn::VanillaPositionalEncoding(x.size(0), x.size(1));
+}
+
+}  // namespace stisan::core

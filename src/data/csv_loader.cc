@@ -1,0 +1,89 @@
+#include "data/csv_loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace stisan::data {
+
+Result<Dataset> LoadCsv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+
+  Dataset ds;
+  ds.name = name;
+  ds.poi_coords.push_back({});  // padding POI
+
+  std::unordered_map<std::string, int64_t> user_ids;
+  std::unordered_map<std::string, int64_t> poi_ids;
+
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = Split(trimmed, ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: expected 5 fields, got %zu", path.c_str(),
+                    static_cast<long long>(line_no), fields.size()));
+    }
+    // Skip a header row.
+    if (line_no == 1 && !ParseDouble(fields[2]).ok()) continue;
+
+    auto lat = ParseDouble(fields[2]);
+    auto lon = ParseDouble(fields[3]);
+    auto ts = ParseDouble(fields[4]);
+    if (!lat.ok() || !lon.ok() || !ts.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: malformed numeric field", path.c_str(),
+                    static_cast<long long>(line_no)));
+    }
+    if (lat.value() < -90.0 || lat.value() > 90.0 || lon.value() < -180.0 ||
+        lon.value() > 180.0) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: coordinate out of range", path.c_str(),
+                    static_cast<long long>(line_no)));
+    }
+
+    auto [uit, user_inserted] =
+        user_ids.try_emplace(fields[0], static_cast<int64_t>(user_ids.size()));
+    if (user_inserted) ds.user_seqs.emplace_back();
+
+    auto [pit, poi_inserted] = poi_ids.try_emplace(
+        fields[1], static_cast<int64_t>(ds.poi_coords.size()));
+    if (poi_inserted) ds.poi_coords.push_back({lat.value(), lon.value()});
+
+    ds.user_seqs[static_cast<size_t>(uit->second)].push_back(
+        {pit->second, ts.value()});
+  }
+
+  for (auto& seq : ds.user_seqs) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const Visit& a, const Visit& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  return ds;
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out << "user,poi,lat,lon,timestamp\n";
+  for (int64_t u = 0; u < dataset.num_users(); ++u) {
+    for (const Visit& v : dataset.user_seqs[static_cast<size_t>(u)]) {
+      const auto& g = dataset.poi_location(v.poi);
+      out << u << "," << v.poi << "," << StrFormat("%.6f", g.lat) << ","
+          << StrFormat("%.6f", g.lon) << "," << StrFormat("%.0f", v.timestamp)
+          << "\n";
+    }
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace stisan::data

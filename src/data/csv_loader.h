@@ -1,0 +1,28 @@
+// CSV check-in loader for real LBSN dumps.
+//
+// Expected line format (header optional, detected automatically):
+//   user_id,poi_id,latitude,longitude,timestamp_seconds
+//
+// User and POI ids may be arbitrary strings; they are compacted to dense
+// ids (POIs to 1..P, users to 0..U-1). Visits are sorted chronologically
+// per user. If the same POI id appears with different coordinates, the
+// first occurrence wins.
+
+#pragma once
+
+#include <string>
+
+#include "data/types.h"
+#include "util/status.h"
+
+namespace stisan::data {
+
+/// Loads a dataset from a CSV file. Returns IoError if the file cannot be
+/// read and InvalidArgument on malformed rows.
+Result<Dataset> LoadCsv(const std::string& path, const std::string& name);
+
+/// Writes a dataset to CSV in the same format (useful for exporting
+/// synthetic data and round-trip testing).
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace stisan::data

@@ -1,0 +1,154 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace stisan::data {
+
+Dataset FilterCold(const Dataset& input, const FilterOptions& options) {
+  // Iterate removal until a fixed point: dropping users can cool POIs and
+  // vice versa.
+  const int64_t num_pois = input.num_pois();
+  std::vector<bool> user_alive(input.user_seqs.size(), true);
+  std::vector<bool> poi_alive(static_cast<size_t>(num_pois) + 1, true);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // POI interaction counts over live users/POIs.
+    std::vector<int64_t> poi_count(static_cast<size_t>(num_pois) + 1, 0);
+    for (size_t u = 0; u < input.user_seqs.size(); ++u) {
+      if (!user_alive[u]) continue;
+      for (const Visit& v : input.user_seqs[u]) {
+        if (poi_alive[static_cast<size_t>(v.poi)]) {
+          poi_count[static_cast<size_t>(v.poi)]++;
+        }
+      }
+    }
+    for (int64_t p = 1; p <= num_pois; ++p) {
+      if (poi_alive[static_cast<size_t>(p)] &&
+          poi_count[static_cast<size_t>(p)] < options.min_poi_checkins) {
+        poi_alive[static_cast<size_t>(p)] = false;
+        changed = true;
+      }
+    }
+    // User visit counts over live POIs.
+    for (size_t u = 0; u < input.user_seqs.size(); ++u) {
+      if (!user_alive[u]) continue;
+      int64_t count = 0;
+      for (const Visit& v : input.user_seqs[u]) {
+        if (poi_alive[static_cast<size_t>(v.poi)]) ++count;
+      }
+      if (count < options.min_user_checkins) {
+        user_alive[u] = false;
+        changed = true;
+      }
+    }
+  }
+
+  // Compact ids.
+  Dataset out;
+  out.name = input.name;
+  std::vector<int64_t> poi_remap(static_cast<size_t>(num_pois) + 1, -1);
+  out.poi_coords.push_back({});  // padding POI
+  for (int64_t p = 1; p <= num_pois; ++p) {
+    if (poi_alive[static_cast<size_t>(p)]) {
+      poi_remap[static_cast<size_t>(p)] =
+          static_cast<int64_t>(out.poi_coords.size());
+      out.poi_coords.push_back(input.poi_coords[static_cast<size_t>(p)]);
+    }
+  }
+  for (size_t u = 0; u < input.user_seqs.size(); ++u) {
+    if (!user_alive[u]) continue;
+    std::vector<Visit> seq;
+    for (const Visit& v : input.user_seqs[u]) {
+      const int64_t np = poi_remap[static_cast<size_t>(v.poi)];
+      if (np >= 0) seq.push_back({np, v.timestamp});
+    }
+    if (!seq.empty()) out.user_seqs.push_back(std::move(seq));
+  }
+  return out;
+}
+
+int64_t PadHead(const std::vector<Visit>& visits, int64_t n,
+                std::vector<int64_t>* poi, std::vector<double>* t) {
+  STISAN_CHECK_LE(static_cast<int64_t>(visits.size()), n);
+  STISAN_CHECK(!visits.empty());
+  const int64_t pad = n - static_cast<int64_t>(visits.size());
+  poi->assign(static_cast<size_t>(n), kPaddingPoi);
+  t->assign(static_cast<size_t>(n), visits.front().timestamp);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    (*poi)[static_cast<size_t>(pad) + i] = visits[i].poi;
+    (*t)[static_cast<size_t>(pad) + i] = visits[i].timestamp;
+  }
+  return pad;
+}
+
+namespace {
+
+// Finds the index of the most recent visit whose POI does not occur earlier
+// in the sequence; falls back to the last visit.
+size_t FindTargetIndex(const std::vector<Visit>& seq) {
+  std::unordered_map<int64_t, size_t> first_seen;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    auto it = first_seen.find(seq[i].poi);
+    if (it == first_seen.end()) first_seen[seq[i].poi] = i;
+  }
+  for (size_t i = seq.size(); i-- > 1;) {
+    if (first_seen[seq[i].poi] == i) return i;
+  }
+  return seq.size() - 1;
+}
+
+}  // namespace
+
+Split TrainTestSplit(const Dataset& dataset, const SplitOptions& options) {
+  const int64_t n = options.max_seq_len;
+  STISAN_CHECK_GE(n, 2);
+  Split split;
+  for (int64_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.user_seqs[static_cast<size_t>(u)];
+    if (seq.size() < 3) continue;
+    const size_t target_idx = FindTargetIndex(seq);
+    if (target_idx < 2) continue;
+
+    // ---- Eval instance: n visits before the target as source. ----
+    EvalInstance inst;
+    inst.user = u;
+    inst.target = seq[target_idx].poi;
+    inst.target_time = seq[target_idx].timestamp;
+    const size_t src_begin =
+        target_idx > static_cast<size_t>(n) ? target_idx - n : 0;
+    std::vector<Visit> source(seq.begin() + src_begin,
+                              seq.begin() + target_idx);
+    inst.first_real = PadHead(source, n, &inst.poi, &inst.t);
+    inst.visited.reserve(target_idx);
+    std::unordered_set<int64_t> seen;
+    for (size_t i = 0; i < target_idx; ++i) {
+      if (seen.insert(seq[i].poi).second) inst.visited.push_back(seq[i].poi);
+    }
+    split.test.push_back(std::move(inst));
+
+    // ---- Training windows: everything before the target, length n+1
+    // windows from the end; consecutive windows share one boundary visit. ----
+    std::vector<Visit> train_part(seq.begin(), seq.begin() + target_idx);
+    int64_t end = static_cast<int64_t>(train_part.size());
+    while (end >= 2) {
+      const int64_t begin = std::max<int64_t>(0, end - (n + 1));
+      std::vector<Visit> window(train_part.begin() + begin,
+                                train_part.begin() + end);
+      TrainWindow w;
+      w.user = u;
+      w.first_real = PadHead(window, n + 1, &w.poi, &w.t);
+      split.train.push_back(std::move(w));
+      if (begin == 0) break;
+      end = begin + 1;  // share the boundary visit so labels are continuous
+    }
+  }
+  return split;
+}
+
+}  // namespace stisan::data

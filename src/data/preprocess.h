@@ -1,0 +1,49 @@
+// Dataset preprocessing: cold user/POI filtering, id compaction, and the
+// train/test split with fixed-length windowing and head padding (paper
+// §III-B and §IV-A).
+
+#pragma once
+
+#include <vector>
+
+#include "data/types.h"
+#include "util/status.h"
+
+namespace stisan::data {
+
+struct FilterOptions {
+  /// Remove users with fewer visits than this (paper default: 20).
+  int64_t min_user_checkins = 20;
+  /// Remove POIs with fewer interactions than this (paper default: 10).
+  int64_t min_poi_checkins = 10;
+};
+
+/// Iteratively removes cold users and POIs until both constraints hold,
+/// then compacts POI ids to 1..P and user ids to 0..U-1.
+Dataset FilterCold(const Dataset& input, const FilterOptions& options);
+
+struct SplitOptions {
+  /// Maximum source sequence length n (paper default: 100).
+  int64_t max_seq_len = 100;
+};
+
+struct Split {
+  std::vector<TrainWindow> train;
+  std::vector<EvalInstance> test;
+};
+
+/// Paper protocol: for each user, the target is the most recent previously
+/// unvisited POI; the n visits before it form the eval source; everything
+/// before the target is training data, divided into non-overlapping windows
+/// of length n from the end (consecutive windows share one boundary visit so
+/// every step has a next-POI label) and head-padded to full length.
+Split TrainTestSplit(const Dataset& dataset, const SplitOptions& options);
+
+/// Pads `visits` (<= n entries) at the head to exactly n entries. Padding
+/// entries use kPaddingPoi and copy the first real timestamp so that the
+/// time intervals inside the padding region are zero. Returns the index of
+/// the first real entry.
+int64_t PadHead(const std::vector<Visit>& visits, int64_t n,
+                std::vector<int64_t>* poi, std::vector<double>* t);
+
+}  // namespace stisan::data

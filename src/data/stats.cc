@@ -1,0 +1,165 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geo.h"
+#include "util/string_util.h"
+
+namespace stisan::data {
+
+std::string Distribution::ToString() const {
+  return StrFormat(
+      "n=%lld mean=%.2f sd=%.2f min=%.2f p25=%.2f med=%.2f p75=%.2f "
+      "p95=%.2f max=%.2f",
+      static_cast<long long>(count), mean, stddev, min, p25, median, p75,
+      p95, max);
+}
+
+Distribution Summarize(std::vector<double> samples) {
+  Distribution d;
+  if (samples.empty()) return d;
+  std::sort(samples.begin(), samples.end());
+  d.count = static_cast<int64_t>(samples.size());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  d.mean = sum / double(d.count);
+  double var = 0.0;
+  for (double v : samples) var += (v - d.mean) * (v - d.mean);
+  d.stddev = std::sqrt(var / double(d.count));
+  auto q = [&samples](double p) {
+    const double idx = p * double(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = idx - double(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  d.min = samples.front();
+  d.p25 = q(0.25);
+  d.median = q(0.5);
+  d.p75 = q(0.75);
+  d.p95 = q(0.95);
+  d.max = samples.back();
+  return d;
+}
+
+Distribution IntervalHoursDistribution(const Dataset& dataset) {
+  std::vector<double> samples;
+  for (const auto& seq : dataset.user_seqs) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      samples.push_back((seq[i].timestamp - seq[i - 1].timestamp) / 3600.0);
+    }
+  }
+  return Summarize(std::move(samples));
+}
+
+Distribution JumpKmDistribution(const Dataset& dataset) {
+  std::vector<double> samples;
+  for (const auto& seq : dataset.user_seqs) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      samples.push_back(
+          geo::HaversineKm(dataset.poi_location(seq[i - 1].poi),
+                           dataset.poi_location(seq[i].poi)));
+    }
+  }
+  return Summarize(std::move(samples));
+}
+
+Distribution RadiusOfGyrationDistribution(const Dataset& dataset) {
+  std::vector<double> samples;
+  for (const auto& seq : dataset.user_seqs) {
+    if (seq.empty()) continue;
+    geo::GeoPoint centroid{0, 0};
+    for (const auto& v : seq) {
+      const auto& p = dataset.poi_location(v.poi);
+      centroid.lat += p.lat;
+      centroid.lon += p.lon;
+    }
+    centroid.lat /= double(seq.size());
+    centroid.lon /= double(seq.size());
+    double sq = 0.0;
+    for (const auto& v : seq) {
+      const double d =
+          geo::HaversineKm(centroid, dataset.poi_location(v.poi));
+      sq += d * d;
+    }
+    samples.push_back(std::sqrt(sq / double(seq.size())));
+  }
+  return Summarize(std::move(samples));
+}
+
+double PopularityGini(const Dataset& dataset) {
+  std::vector<double> counts(static_cast<size_t>(dataset.num_pois()), 0.0);
+  for (const auto& seq : dataset.user_seqs) {
+    for (const auto& v : seq) counts[static_cast<size_t>(v.poi - 1)] += 1.0;
+  }
+  std::sort(counts.begin(), counts.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  const double n = double(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    weighted += double(i + 1) * counts[i];
+  }
+  if (total <= 0.0 || counts.empty()) return 0.0;
+  // Gini = (2 * sum(i * x_i) / (n * sum(x)) - (n + 1) / n)
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+double RevisitRate(const Dataset& dataset) {
+  int64_t revisits = 0;
+  int64_t total = 0;
+  std::vector<char> seen;
+  for (const auto& seq : dataset.user_seqs) {
+    seen.assign(static_cast<size_t>(dataset.num_pois()) + 1, 0);
+    for (const auto& v : seq) {
+      if (seen[static_cast<size_t>(v.poi)]) ++revisits;
+      seen[static_cast<size_t>(v.poi)] = 1;
+      ++total;
+    }
+  }
+  return total > 0 ? double(revisits) / double(total) : 0.0;
+}
+
+SessionStats ComputeSessionStats(const Dataset& dataset, double gap_hours) {
+  SessionStats out;
+  const double gap_seconds = gap_hours * 3600.0;
+  int64_t sessions = 0;
+  int64_t checkins = 0;
+  double within_km = 0.0;
+  int64_t within_n = 0;
+  double between_km = 0.0;
+  int64_t between_n = 0;
+  int64_t users = 0;
+  for (const auto& seq : dataset.user_seqs) {
+    if (seq.empty()) continue;
+    ++users;
+    ++sessions;  // first session starts at the first check-in
+    checkins += static_cast<int64_t>(seq.size());
+    for (size_t i = 1; i < seq.size(); ++i) {
+      const double gap = seq[i].timestamp - seq[i - 1].timestamp;
+      const double km =
+          geo::HaversineKm(dataset.poi_location(seq[i - 1].poi),
+                           dataset.poi_location(seq[i].poi));
+      if (gap >= gap_seconds) {
+        ++sessions;
+        between_km += km;
+        ++between_n;
+      } else {
+        within_km += km;
+        ++within_n;
+      }
+    }
+  }
+  if (sessions > 0) {
+    out.mean_session_length = double(checkins) / double(sessions);
+  }
+  if (users > 0) out.mean_sessions_per_user = double(sessions) / double(users);
+  if (within_n > 0) out.mean_within_session_km = within_km / double(within_n);
+  if (between_n > 0) {
+    out.mean_between_session_km = between_km / double(between_n);
+  }
+  return out;
+}
+
+}  // namespace stisan::data

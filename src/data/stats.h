@@ -1,0 +1,62 @@
+// Dataset analysis: the descriptive statistics LBSN papers report when
+// characterising check-in corpora — interval distributions, mobility
+// ranges, popularity concentration, and session structure. Used by
+// tools/dataset_report and the documentation of the synthetic presets.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace stisan::data {
+
+/// Simple summary of a sample: quantiles and moments.
+struct Distribution {
+  int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Builds a Distribution from raw samples (empty input -> zeros).
+Distribution Summarize(std::vector<double> samples);
+
+/// Inter-check-in time intervals, in hours, pooled over all users.
+Distribution IntervalHoursDistribution(const Dataset& dataset);
+
+/// Consecutive-move geographic jumps, in km, pooled over all users.
+Distribution JumpKmDistribution(const Dataset& dataset);
+
+/// Radius of gyration per user (root-mean-square distance of a user's
+/// visits from their centroid, km) — the standard mobility-range measure.
+Distribution RadiusOfGyrationDistribution(const Dataset& dataset);
+
+/// Gini coefficient of POI visit counts in [0, 1]; higher = more
+/// concentrated popularity (LBSN corpora are typically > 0.5).
+double PopularityGini(const Dataset& dataset);
+
+/// Fraction of check-ins that revisit a POI the user has already visited.
+double RevisitRate(const Dataset& dataset);
+
+/// Session statistics under a gap threshold: a session is a maximal run of
+/// check-ins whose consecutive gaps stay below `gap_hours`.
+struct SessionStats {
+  double mean_session_length = 0.0;   // check-ins per session
+  double mean_sessions_per_user = 0.0;
+  double mean_within_session_km = 0.0;  // consecutive jump inside sessions
+  double mean_between_session_km = 0.0; // jump across session boundaries
+};
+SessionStats ComputeSessionStats(const Dataset& dataset,
+                                 double gap_hours = 8.0);
+
+}  // namespace stisan::data

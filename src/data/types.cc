@@ -1,0 +1,45 @@
+#include "data/types.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace stisan::data {
+
+int64_t Dataset::num_checkins() const {
+  int64_t n = 0;
+  for (const auto& seq : user_seqs) n += static_cast<int64_t>(seq.size());
+  return n;
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats s;
+  s.num_users = num_users();
+  s.num_pois = num_pois();
+  s.num_checkins = num_checkins();
+  if (s.num_users > 0 && s.num_pois > 0) {
+    // Sparsity over unique user-POI interactions (repeat visits would
+    // otherwise push it negative on dense corpora).
+    int64_t unique_pairs = 0;
+    std::unordered_set<int64_t> seen;
+    for (const auto& seq : user_seqs) {
+      seen.clear();
+      for (const auto& v : seq) seen.insert(v.poi);
+      unique_pairs += static_cast<int64_t>(seen.size());
+    }
+    s.sparsity = 1.0 - double(unique_pairs) /
+                           (double(s.num_users) * double(s.num_pois));
+    s.avg_seq_length = double(s.num_checkins) / double(s.num_users);
+  }
+  return s;
+}
+
+std::string DatasetStats::ToString() const {
+  return StrFormat(
+      "#user=%lld #POI=%lld #check-in=%lld sparsity=%.2f%% avg.seq=%.1f",
+      static_cast<long long>(num_users), static_cast<long long>(num_pois),
+      static_cast<long long>(num_checkins), sparsity * 100.0,
+      avg_seq_length);
+}
+
+}  // namespace stisan::data

@@ -1,0 +1,50 @@
+#include "eval/evaluator.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace stisan::eval {
+namespace {
+
+std::vector<geo::GeoPoint> RealPoiCoords(const data::Dataset& dataset) {
+  // Index id = poi - 1 (skips the padding POI 0).
+  return {dataset.poi_coords.begin() + 1, dataset.poi_coords.end()};
+}
+
+}  // namespace
+
+CandidateGenerator::CandidateGenerator(const data::Dataset& dataset)
+    : dataset_(dataset), index_(RealPoiCoords(dataset)) {}
+
+std::vector<int64_t> CandidateGenerator::Candidates(
+    const data::EvalInstance& instance, int64_t num_negatives) const {
+  std::unordered_set<int64_t> excluded(instance.visited.begin(),
+                                       instance.visited.end());
+  excluded.insert(instance.target);
+  const geo::GeoPoint& target_loc = dataset_.poi_location(instance.target);
+  auto nearest = index_.KNearest(
+      target_loc, num_negatives,
+      [&excluded](int64_t id) { return !excluded.contains(id + 1); });
+  std::vector<int64_t> out;
+  out.reserve(nearest.size() + 1);
+  out.push_back(instance.target);
+  for (int64_t id : nearest) out.push_back(id + 1);
+  return out;
+}
+
+MetricAccumulator Evaluate(const Scorer& scorer,
+                           const std::vector<data::EvalInstance>& test,
+                           const CandidateGenerator& candidates,
+                           const EvalOptions& options) {
+  MetricAccumulator acc(options.cutoffs);
+  for (const auto& instance : test) {
+    const auto cand = candidates.Candidates(instance, options.num_negatives);
+    const auto scores = scorer(instance, cand);
+    STISAN_CHECK_EQ(scores.size(), cand.size());
+    acc.Add(RankOfTarget(scores, /*target_index=*/0));
+  }
+  return acc;
+}
+
+}  // namespace stisan::eval

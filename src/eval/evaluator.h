@@ -1,0 +1,51 @@
+// Evaluation harness implementing the paper's protocol (§IV-C): for each
+// test instance, rank the target POI against its 100 nearest previously
+// unvisited POIs and accumulate HR@k / NDCG@k.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/types.h"
+#include "eval/metrics.h"
+#include "geo/spatial_index.h"
+
+namespace stisan::eval {
+
+/// Builds candidate lists: target first, then the num_negatives nearest
+/// previously-unvisited POIs around the target.
+class CandidateGenerator {
+ public:
+  explicit CandidateGenerator(const data::Dataset& dataset);
+
+  /// Returns [target, neg_1, ..., neg_m] with m <= num_negatives (fewer on
+  /// tiny POI sets). Negatives exclude the target and every POI in
+  /// instance.visited.
+  std::vector<int64_t> Candidates(const data::EvalInstance& instance,
+                                  int64_t num_negatives) const;
+
+  const geo::SpatialGridIndex& index() const { return index_; }
+
+ private:
+  const data::Dataset& dataset_;
+  geo::SpatialGridIndex index_;  // over POIs 1..P at index id poi-1
+};
+
+struct EvalOptions {
+  int64_t num_negatives = 100;
+  std::vector<int64_t> cutoffs = {5, 10};
+};
+
+/// A scoring function: given a test instance and its candidate list,
+/// returns one score per candidate (higher = more likely next POI).
+using Scorer = std::function<std::vector<float>(
+    const data::EvalInstance&, const std::vector<int64_t>&)>;
+
+/// Runs the full protocol and returns the accumulated metrics.
+MetricAccumulator Evaluate(const Scorer& scorer,
+                           const std::vector<data::EvalInstance>& test,
+                           const CandidateGenerator& candidates,
+                           const EvalOptions& options = {});
+
+}  // namespace stisan::eval

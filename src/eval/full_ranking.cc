@@ -1,0 +1,51 @@
+#include "eval/full_ranking.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace stisan::eval {
+
+MetricAccumulator FullRankingEvaluate(
+    const Scorer& scorer, const std::vector<data::EvalInstance>& test,
+    const data::Dataset& dataset, const FullRankingOptions& options) {
+  STISAN_CHECK_GT(options.chunk_size, 1);
+  MetricAccumulator acc(options.cutoffs);
+  int64_t done = 0;
+  for (const auto& instance : test) {
+    if (options.max_instances > 0 && done >= options.max_instances) break;
+    ++done;
+
+    std::unordered_set<int64_t> visited(instance.visited.begin(),
+                                        instance.visited.end());
+    visited.erase(instance.target);
+
+    // Score the target first, then stream the remaining candidates in
+    // chunks, counting how many score >= the target (pessimistic ties,
+    // matching RankOfTarget).
+    const float target_score =
+        scorer(instance, {instance.target}).at(0);
+    int64_t rank = 0;
+    std::vector<int64_t> chunk;
+    chunk.reserve(static_cast<size_t>(options.chunk_size));
+    auto flush = [&] {
+      if (chunk.empty()) return;
+      const auto scores = scorer(instance, chunk);
+      STISAN_CHECK_EQ(scores.size(), chunk.size());
+      for (float s : scores) {
+        if (s >= target_score) ++rank;
+      }
+      chunk.clear();
+    };
+    for (int64_t poi = 1; poi <= dataset.num_pois(); ++poi) {
+      if (poi == instance.target || visited.contains(poi)) continue;
+      chunk.push_back(poi);
+      if (static_cast<int64_t>(chunk.size()) == options.chunk_size) flush();
+    }
+    flush();
+    acc.Add(rank);
+  }
+  return acc;
+}
+
+}  // namespace stisan::eval

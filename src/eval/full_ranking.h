@@ -1,0 +1,33 @@
+// Full (unsampled) ranking evaluation.
+//
+// The paper follows GeoSAN's sampled protocol — the target is ranked
+// against its 100 nearest unvisited POIs — which Krichene & Rendle (KDD
+// 2020, the paper's ref [40]) show can distort model comparisons. This
+// module provides the unsampled alternative: the target is ranked against
+// EVERY previously-unvisited POI. It is O(P) score evaluations per
+// instance, so use it on the smaller presets or with `max_instances`.
+
+#pragma once
+
+#include <cstdint>
+
+#include "data/types.h"
+#include "eval/evaluator.h"
+
+namespace stisan::eval {
+
+struct FullRankingOptions {
+  std::vector<int64_t> cutoffs = {5, 10};
+  /// Cap on evaluated instances (0 = all) to bound the O(P) cost.
+  int64_t max_instances = 0;
+  /// Score candidates in chunks of this size (memory bound for the model's
+  /// candidate-embedding pass).
+  int64_t chunk_size = 512;
+};
+
+/// Ranks each instance's target against all previously-unvisited POIs.
+MetricAccumulator FullRankingEvaluate(
+    const Scorer& scorer, const std::vector<data::EvalInstance>& test,
+    const data::Dataset& dataset, const FullRankingOptions& options = {});
+
+}  // namespace stisan::eval

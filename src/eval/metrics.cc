@@ -1,0 +1,147 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stisan::eval {
+
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index) {
+  STISAN_CHECK_GE(target_index, 0);
+  STISAN_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
+  const float target_score = scores[static_cast<size_t>(target_index)];
+  int64_t rank = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<int64_t>(i) == target_index) continue;
+    if (scores[i] >= target_score) ++rank;
+  }
+  return rank;
+}
+
+double HitRateAtK(int64_t rank, int64_t k) { return rank < k ? 1.0 : 0.0; }
+
+double NdcgAtK(int64_t rank, int64_t k) {
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(double(rank) + 2.0);
+}
+
+double ReciprocalRank(int64_t rank) { return 1.0 / double(rank + 1); }
+
+MetricAccumulator::MetricAccumulator(std::vector<int64_t> cutoffs)
+    : cutoffs_(std::move(cutoffs)),
+      hr_sums_(cutoffs_.size(), 0.0),
+      ndcg_sums_(cutoffs_.size(), 0.0) {}
+
+void MetricAccumulator::Add(int64_t rank) {
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    hr_sums_[i] += HitRateAtK(rank, cutoffs_[i]);
+    ndcg_sums_[i] += NdcgAtK(rank, cutoffs_[i]);
+  }
+  rr_sum_ += ReciprocalRank(rank);
+  ranks_.push_back(rank);
+  ++count_;
+}
+
+double MetricAccumulator::MeanReciprocalRank() const {
+  return count_ > 0 ? rr_sum_ / double(count_) : 0.0;
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  STISAN_CHECK(cutoffs_ == other.cutoffs_);
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    hr_sums_[i] += other.hr_sums_[i];
+    ndcg_sums_[i] += other.ndcg_sums_[i];
+  }
+  rr_sum_ += other.rr_sum_;
+  count_ += other.count_;
+  ranks_.insert(ranks_.end(), other.ranks_.begin(), other.ranks_.end());
+}
+
+std::map<std::string, double> MetricAccumulator::Means() const {
+  std::map<std::string, double> out;
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    const double denom = count_ > 0 ? double(count_) : 1.0;
+    out[StrFormat("HR@%lld", static_cast<long long>(cutoffs_[i]))] =
+        hr_sums_[i] / denom;
+    out[StrFormat("NDCG@%lld", static_cast<long long>(cutoffs_[i]))] =
+        ndcg_sums_[i] / denom;
+  }
+  return out;
+}
+
+double MetricAccumulator::HitRate(int64_t k) const {
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    if (cutoffs_[i] == k)
+      return count_ > 0 ? hr_sums_[i] / double(count_) : 0.0;
+  }
+  STISAN_CHECK_MSG(false, "cutoff not tracked: " << k);
+  return 0.0;
+}
+
+double MetricAccumulator::Ndcg(int64_t k) const {
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    if (cutoffs_[i] == k)
+      return count_ > 0 ? ndcg_sums_[i] / double(count_) : 0.0;
+  }
+  STISAN_CHECK_MSG(false, "cutoff not tracked: " << k);
+  return 0.0;
+}
+
+namespace {
+
+double HitRateOfResample(const std::vector<int64_t>& ranks,
+                         const std::vector<size_t>& sample, int64_t k) {
+  double hits = 0;
+  for (size_t idx : sample) hits += HitRateAtK(ranks[idx], k);
+  return hits / double(sample.size());
+}
+
+}  // namespace
+
+ConfidenceInterval BootstrapHitRateCi(const std::vector<int64_t>& ranks,
+                                      int64_t k, double confidence, Rng& rng,
+                                      int64_t resamples) {
+  STISAN_CHECK(!ranks.empty());
+  STISAN_CHECK_GT(confidence, 0.0);
+  STISAN_CHECK_LT(confidence, 1.0);
+  std::vector<double> stats(static_cast<size_t>(resamples));
+  std::vector<size_t> sample(ranks.size());
+  for (int64_t r = 0; r < resamples; ++r) {
+    for (auto& idx : sample) {
+      idx = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(ranks.size())));
+    }
+    stats[static_cast<size_t>(r)] = HitRateOfResample(ranks, sample, k);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const auto idx = static_cast<size_t>(q * double(stats.size() - 1));
+    return stats[idx];
+  };
+  return {at(alpha), at(1.0 - alpha)};
+}
+
+double PairedBootstrapPValue(const std::vector<int64_t>& ranks_a,
+                             const std::vector<int64_t>& ranks_b, int64_t k,
+                             Rng& rng, int64_t resamples) {
+  STISAN_CHECK_EQ(ranks_a.size(), ranks_b.size());
+  STISAN_CHECK(!ranks_a.empty());
+  int64_t not_better = 0;
+  std::vector<size_t> sample(ranks_a.size());
+  for (int64_t r = 0; r < resamples; ++r) {
+    for (auto& idx : sample) {
+      idx = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(ranks_a.size())));
+    }
+    if (HitRateOfResample(ranks_a, sample, k) <=
+        HitRateOfResample(ranks_b, sample, k)) {
+      ++not_better;
+    }
+  }
+  return double(not_better) / double(resamples);
+}
+
+}  // namespace stisan::eval

@@ -1,0 +1,82 @@
+// Ranking metrics: Hit Rate and NDCG at cutoff k (paper §IV-C).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stisan::eval {
+
+/// Returns the rank (0-based) of the candidate at `target_index` when all
+/// candidates are sorted by descending score. Ties are broken
+/// pessimistically: candidates with equal score rank ahead of the target,
+/// so constant scorers cannot look artificially good.
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index);
+
+/// HR@k for a single instance: 1 if the target ranks inside the top k.
+double HitRateAtK(int64_t rank, int64_t k);
+
+/// NDCG@k for a single instance with one relevant item:
+/// 1/log2(rank + 2) if rank < k else 0 (the ideal DCG is 1).
+double NdcgAtK(int64_t rank, int64_t k);
+
+/// Reciprocal rank for a single instance: 1 / (rank + 1).
+double ReciprocalRank(int64_t rank);
+
+/// Accumulates per-instance metrics and reports means.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(std::vector<int64_t> cutoffs = {5, 10});
+
+  /// Adds one evaluation instance given the target's rank.
+  void Add(int64_t rank);
+
+  int64_t count() const { return count_; }
+
+  /// Mean metric value, keyed "HR@5", "NDCG@10", ...
+  std::map<std::string, double> Means() const;
+
+  /// Convenience accessors.
+  double HitRate(int64_t k) const;
+  double Ndcg(int64_t k) const;
+  double MeanReciprocalRank() const;
+
+  /// Per-instance target ranks in Add() order (for bootstrap analyses).
+  const std::vector<int64_t>& ranks() const { return ranks_; }
+
+  /// Merges another accumulator (same cutoffs) into this one.
+  void Merge(const MetricAccumulator& other);
+
+ private:
+  std::vector<int64_t> cutoffs_;
+  std::vector<double> hr_sums_;
+  std::vector<double> ndcg_sums_;
+  double rr_sum_ = 0.0;
+  int64_t count_ = 0;
+  std::vector<int64_t> ranks_;
+};
+
+/// A two-sided bootstrap confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap CI of HR@k over per-instance ranks.
+ConfidenceInterval BootstrapHitRateCi(const std::vector<int64_t>& ranks,
+                                      int64_t k, double confidence, Rng& rng,
+                                      int64_t resamples = 1000);
+
+/// Paired bootstrap test for "model A beats model B on HR@k": returns the
+/// fraction of resamples where A's HR@k does NOT exceed B's (a one-sided
+/// p-value style score; small = A reliably better). Rank vectors must come
+/// from the same instances in the same order.
+double PairedBootstrapPValue(const std::vector<int64_t>& ranks_a,
+                             const std::vector<int64_t>& ranks_b, int64_t k,
+                             Rng& rng, int64_t resamples = 2000);
+
+}  // namespace stisan::eval

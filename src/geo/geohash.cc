@@ -1,0 +1,101 @@
+#include "geo/geohash.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stisan::geo {
+namespace {
+
+constexpr const char* kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int CharIndex(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string GeohashEncode(const GeoPoint& p, int precision) {
+  STISAN_CHECK_GE(precision, 1);
+  STISAN_CHECK_LE(precision, 12);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(static_cast<size_t>(precision));
+  int bit = 0;
+  int current = 0;
+  bool even = true;  // even bits encode longitude
+  while (static_cast<int>(out.size()) < precision) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2.0;
+      if (p.lon >= mid) {
+        current = (current << 1) | 1;
+        lon_lo = mid;
+      } else {
+        current <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (p.lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return out;
+}
+
+Result<GeoPoint> GeohashDecode(const std::string& hash) {
+  if (hash.empty()) return Status::InvalidArgument("empty geohash");
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even = true;
+  for (char c : hash) {
+    const int idx = CharIndex(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(std::string("illegal geohash char: ") +
+                                     c);
+    }
+    for (int b = 4; b >= 0; --b) {
+      const int bit = (idx >> b) & 1;
+      if (even) {
+        const double mid = (lon_lo + lon_hi) / 2.0;
+        (bit ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        (bit ? lat_lo : lat_hi) = mid;
+      }
+      even = !even;
+    }
+  }
+  return GeoPoint{(lat_lo + lat_hi) / 2.0, (lon_lo + lon_hi) / 2.0};
+}
+
+GeohashCellSize GeohashCellDimensions(int precision) {
+  STISAN_CHECK_GE(precision, 1);
+  STISAN_CHECK_LE(precision, 12);
+  // 5 bits per character, alternating lon (even) / lat (odd) starting with
+  // lon: lon bits = ceil(5p/2), lat bits = floor(5p/2).
+  const int total_bits = 5 * precision;
+  const int lon_bits = (total_bits + 1) / 2;
+  const int lat_bits = total_bits / 2;
+  GeohashCellSize size;
+  size.height_km = 180.0 / std::pow(2.0, lat_bits) * 111.32;
+  size.width_km = 360.0 / std::pow(2.0, lon_bits) * 111.32;
+  return size;
+}
+
+}  // namespace stisan::geo

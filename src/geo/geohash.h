@@ -1,0 +1,30 @@
+// Geohash encoding/decoding (base-32 interleaved lat/lon), the other
+// widely-used hierarchical geocode besides quadkeys. Prefixes identify
+// enclosing cells, so geohashes support the same prefix-sharing tricks the
+// quadkey n-gram encoder uses.
+
+#pragma once
+
+#include <string>
+
+#include "geo/geo.h"
+#include "util/status.h"
+
+namespace stisan::geo {
+
+/// Encodes a point as a geohash of `precision` characters (1..12).
+std::string GeohashEncode(const GeoPoint& p, int precision);
+
+/// Decodes a geohash to its cell-centre point. Returns InvalidArgument on
+/// malformed input (illegal characters or empty string).
+Result<GeoPoint> GeohashDecode(const std::string& hash);
+
+/// Approximate cell dimensions (km) of a geohash of the given precision at
+/// the equator: {height_km, width_km}.
+struct GeohashCellSize {
+  double height_km = 0.0;
+  double width_km = 0.0;
+};
+GeohashCellSize GeohashCellDimensions(int precision);
+
+}  // namespace stisan::geo

@@ -1,0 +1,74 @@
+#include "geo/quadkey.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stisan::geo {
+
+Tile LatLonToTile(const GeoPoint& p, int level) {
+  STISAN_CHECK_GE(level, 1);
+  STISAN_CHECK_LE(level, 30);
+  // Clamp to the Web-Mercator valid latitude range.
+  const double lat = std::clamp(p.lat, -85.05112878, 85.05112878);
+  const double lon = std::clamp(p.lon, -180.0, 180.0);
+  const double x = (lon + 180.0) / 360.0;
+  const double sin_lat = std::sin(lat * M_PI / 180.0);
+  const double y =
+      0.5 - std::log((1.0 + sin_lat) / (1.0 - sin_lat)) / (4.0 * M_PI);
+  const int64_t map_size = int64_t{1} << level;
+  Tile t;
+  t.level = level;
+  t.x = std::clamp<int64_t>(static_cast<int64_t>(x * double(map_size)), 0,
+                            map_size - 1);
+  t.y = std::clamp<int64_t>(static_cast<int64_t>(y * double(map_size)), 0,
+                            map_size - 1);
+  return t;
+}
+
+std::string TileToQuadKey(const Tile& tile) {
+  std::string key;
+  key.reserve(static_cast<size_t>(tile.level));
+  for (int i = tile.level; i > 0; --i) {
+    char digit = '0';
+    const int64_t mask = int64_t{1} << (i - 1);
+    if (tile.x & mask) digit += 1;
+    if (tile.y & mask) digit += 2;
+    key.push_back(digit);
+  }
+  return key;
+}
+
+std::string ToQuadKey(const GeoPoint& p, int level) {
+  return TileToQuadKey(LatLonToTile(p, level));
+}
+
+std::vector<int64_t> QuadKeyNgramTokens(const std::string& quadkey, int n) {
+  STISAN_CHECK_GE(n, 1);
+  STISAN_CHECK_GE(static_cast<int>(quadkey.size()), n);
+  std::vector<int64_t> tokens;
+  tokens.reserve(quadkey.size() - static_cast<size_t>(n) + 1);
+  for (size_t start = 0; start + static_cast<size_t>(n) <= quadkey.size();
+       ++start) {
+    int64_t id = 0;
+    for (int j = 0; j < n; ++j) {
+      const char c = quadkey[start + static_cast<size_t>(j)];
+      STISAN_CHECK_GE(c, '0');
+      STISAN_CHECK_LE(c, '3');
+      id = id * 4 + (c - '0');
+    }
+    tokens.push_back(id);
+  }
+  return tokens;
+}
+
+int64_t QuadKeyNgramVocabSize(int n) {
+  STISAN_CHECK_GE(n, 1);
+  STISAN_CHECK_LE(n, 15);
+  int64_t v = 1;
+  for (int i = 0; i < n; ++i) v *= 4;
+  return v;
+}
+
+}  // namespace stisan::geo

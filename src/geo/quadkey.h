@@ -1,0 +1,43 @@
+// Web-Mercator tiling and quadkeys, plus the quadkey n-gram tokenisation
+// used by the GeoSAN-style geography encoder (Lian et al., KDD 2020).
+//
+// A quadkey at zoom level z is a base-4 string of length z identifying a map
+// tile; prefixes identify enclosing tiles, so nearby locations share long
+// common prefixes. GeoSAN tokenises the quadkey into overlapping n-grams and
+// embeds those, letting the model share parameters across space.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace stisan::geo {
+
+/// Tile coordinates at a zoom level.
+struct Tile {
+  int64_t x = 0;
+  int64_t y = 0;
+  int level = 0;
+};
+
+/// Maps a GPS point to its Web-Mercator tile at `level` (1..30).
+Tile LatLonToTile(const GeoPoint& p, int level);
+
+/// Encodes a tile as its quadkey (base-4 digit string of length `level`).
+std::string TileToQuadKey(const Tile& tile);
+
+/// Convenience: point -> quadkey.
+std::string ToQuadKey(const GeoPoint& p, int level);
+
+/// Splits a quadkey into overlapping character n-grams and maps each to a
+/// dense token id in [0, 4^n): the n-gram read as a base-4 number.
+/// "0123" with n=2 -> tokens for "01", "12", "23".
+std::vector<int64_t> QuadKeyNgramTokens(const std::string& quadkey, int n);
+
+/// Vocabulary size of the n-gram tokenisation (4^n).
+int64_t QuadKeyNgramVocabSize(int n);
+
+}  // namespace stisan::geo

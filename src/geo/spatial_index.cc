@@ -1,0 +1,151 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+
+namespace stisan::geo {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kKmPerDegLat = 111.32;
+}  // namespace
+
+SpatialGridIndex::SpatialGridIndex(std::vector<GeoPoint> points,
+                                   double cell_km)
+    : points_(std::move(points)) {
+  STISAN_CHECK_GT(cell_km, 0.0);
+  for (const auto& p : points_) bounds_.Extend(p);
+  if (points_.empty()) {
+    rows_ = cols_ = 1;
+    cells_.resize(1);
+    cell_deg_lat_ = cell_deg_lon_ = 1.0;
+    return;
+  }
+  const double mid_lat =
+      0.5 * (bounds_.min_lat + bounds_.max_lat) * kDegToRad;
+  cell_deg_lat_ = cell_km / kKmPerDegLat;
+  cell_deg_lon_ =
+      cell_km / (kKmPerDegLat * std::max(0.05, std::cos(mid_lat)));
+  rows_ = std::max<int64_t>(
+      1, static_cast<int64_t>((bounds_.max_lat - bounds_.min_lat) /
+                              cell_deg_lat_) +
+             1);
+  cols_ = std::max<int64_t>(
+      1, static_cast<int64_t>((bounds_.max_lon - bounds_.min_lon) /
+                              cell_deg_lon_) +
+             1);
+  cells_.resize(static_cast<size_t>(rows_ * cols_));
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const int64_t r = CellRow(points_[i].lat);
+    const int64_t c = CellCol(points_[i].lon);
+    cells_[static_cast<size_t>(CellIndex(r, c))].push_back(
+        static_cast<int64_t>(i));
+  }
+}
+
+int64_t SpatialGridIndex::CellRow(double lat) const {
+  const int64_t r =
+      static_cast<int64_t>((lat - bounds_.min_lat) / cell_deg_lat_);
+  return std::clamp<int64_t>(r, 0, rows_ - 1);
+}
+
+int64_t SpatialGridIndex::CellCol(double lon) const {
+  const int64_t c =
+      static_cast<int64_t>((lon - bounds_.min_lon) / cell_deg_lon_);
+  return std::clamp<int64_t>(c, 0, cols_ - 1);
+}
+
+std::vector<int64_t> SpatialGridIndex::KNearest(
+    const GeoPoint& query, int64_t k,
+    const std::function<bool(int64_t)>& accept) const {
+  if (k <= 0 || points_.empty()) return {};
+  // Expanding ring search: examine cells in increasing Chebyshev ring order
+  // around the query cell; stop when the found set is full and the next
+  // ring cannot contain anything closer.
+  const int64_t qr = CellRow(query.lat);
+  const int64_t qc = CellCol(query.lon);
+
+  using Entry = std::pair<double, int64_t>;  // (distance, id)
+  std::priority_queue<Entry> heap;           // max-heap of the best k
+
+  const double cell_km_lat = cell_deg_lat_ * kKmPerDegLat;
+  const int64_t max_ring = std::max(rows_, cols_);
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Early exit: any point in this ring is at least (ring-1) cells away.
+    if (static_cast<int64_t>(heap.size()) == k) {
+      const double min_possible_km =
+          std::max(0.0, double(ring - 1)) * cell_km_lat;
+      if (heap.top().first < min_possible_km) break;
+    }
+    bool ring_in_bounds = false;
+    for (int64_t dr = -ring; dr <= ring; ++dr) {
+      for (int64_t dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::llabs(dr), std::llabs(dc)) != ring) continue;
+        const int64_t r = qr + dr;
+        const int64_t c = qc + dc;
+        if (r < 0 || r >= rows_ || c < 0 || c >= cols_) continue;
+        ring_in_bounds = true;
+        for (int64_t id : cells_[static_cast<size_t>(CellIndex(r, c))]) {
+          if (accept && !accept(id)) continue;
+          const double dist =
+              HaversineKm(query, points_[static_cast<size_t>(id)]);
+          if (static_cast<int64_t>(heap.size()) < k) {
+            heap.emplace(dist, id);
+          } else if (dist < heap.top().first) {
+            heap.pop();
+            heap.emplace(dist, id);
+          }
+        }
+      }
+    }
+    if (!ring_in_bounds && ring > 0 && qr - ring < 0 && qr + ring >= rows_ &&
+        qc - ring < 0 && qc + ring >= cols_) {
+      break;  // ring fully outside the grid
+    }
+  }
+
+  std::vector<int64_t> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<int64_t> SpatialGridIndex::WithinRadius(const GeoPoint& query,
+                                                    double radius_km) const {
+  std::vector<int64_t> out;
+  if (points_.empty()) return out;
+  // Cells are cell_km wide in latitude by construction; their longitudinal
+  // width in km is also ~cell_km (the degree width carries the cos
+  // correction), narrowing toward the poles — use the minimum width over
+  // the grid's latitude range plus a safety cell.
+  const double cell_km_lat = cell_deg_lat_ * kKmPerDegLat;
+  const double min_cos = std::max(
+      0.05, std::min(std::cos(bounds_.min_lat * kDegToRad),
+                     std::cos(bounds_.max_lat * kDegToRad)));
+  const double cell_km_lon = cell_deg_lon_ * kKmPerDegLat * min_cos;
+  const int64_t ring_lat =
+      static_cast<int64_t>(radius_km / cell_km_lat) + 2;
+  const int64_t ring_lon =
+      static_cast<int64_t>(radius_km / cell_km_lon) + 2;
+  const int64_t qr = CellRow(query.lat);
+  const int64_t qc = CellCol(query.lon);
+  for (int64_t r = std::max<int64_t>(0, qr - ring_lat);
+       r <= std::min(rows_ - 1, qr + ring_lat); ++r) {
+    for (int64_t c = std::max<int64_t>(0, qc - ring_lon);
+         c <= std::min(cols_ - 1, qc + ring_lon); ++c) {
+      for (int64_t id : cells_[static_cast<size_t>(CellIndex(r, c))]) {
+        if (HaversineKm(query, points_[static_cast<size_t>(id)]) <=
+            radius_km) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stisan::geo

@@ -1,0 +1,57 @@
+// Uniform-grid spatial index over a set of points with k-nearest-neighbour
+// queries. Used for the paper's evaluation protocol (rank the target against
+// its 100 nearest unvisited POIs) and the importance-based negative sampler
+// (L negatives from the target's nearest 2000 neighbours).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace stisan::geo {
+
+/// Immutable grid index over points identified by their insertion index.
+class SpatialGridIndex {
+ public:
+  /// Builds an index over `points`. `cell_km` controls grid resolution;
+  /// smaller cells speed up small-k queries on dense data.
+  explicit SpatialGridIndex(std::vector<GeoPoint> points,
+                            double cell_km = 2.0);
+
+  /// Returns the ids of the `k` nearest points to `query`, ascending by
+  /// Haversine distance. Points for which `accept` returns false are
+  /// skipped (pass nullptr to accept everything). Returns fewer than k ids
+  /// when not enough acceptable points exist.
+  std::vector<int64_t> KNearest(
+      const GeoPoint& query, int64_t k,
+      const std::function<bool(int64_t)>& accept = nullptr) const;
+
+  /// Returns all point ids within `radius_km` of `query` (unsorted).
+  std::vector<int64_t> WithinRadius(const GeoPoint& query,
+                                    double radius_km) const;
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  const GeoPoint& point(int64_t id) const {
+    return points_[static_cast<size_t>(id)];
+  }
+
+ private:
+  int64_t CellRow(double lat) const;
+  int64_t CellCol(double lon) const;
+  int64_t CellIndex(int64_t row, int64_t col) const {
+    return row * cols_ + col;
+  }
+
+  std::vector<GeoPoint> points_;
+  BoundingBox bounds_;
+  double cell_deg_lat_ = 0.0;
+  double cell_deg_lon_ = 0.0;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<std::vector<int64_t>> cells_;
+};
+
+}  // namespace stisan::geo

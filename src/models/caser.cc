@@ -1,0 +1,57 @@
+#include "models/caser.h"
+
+namespace stisan::models {
+
+CaserModel::CaserModel(const data::Dataset& dataset,
+                       const CaserOptions& options)
+    : NeuralSeqModel(dataset, options.base, "Caser"),
+      caser_options_(options),
+      conv_(options.markov_order, options.base.dim,
+            /*heights=*/{2, 3}, options.filters_per_height,
+            options.vertical_filters, options.base.dim, options.base.dropout,
+            rng_),
+      user_embedding_(dataset.num_users(), options.base.dim, rng_),
+      dropout_(options.base.dropout) {
+  RegisterModule(&conv_);
+  RegisterModule(&user_embedding_);
+  RegisterModule(&dropout_);
+}
+
+Tensor CaserModel::EncodeStep(const Tensor& emb, int64_t step, int64_t user,
+                              Rng& rng) const {
+  const int64_t order = caser_options_.markov_order;
+  const int64_t n = emb.size(0);
+  STISAN_CHECK_LT(step, n);
+  // Window of the last `order` steps ending at `step`; pad by re-slicing
+  // from the head (head rows are zero-padded embeddings anyway).
+  const int64_t begin = std::max<int64_t>(0, step + 1 - order);
+  Tensor window = ops::Slice(emb, 0, begin, step + 1);
+  if (step + 1 - begin < order) {
+    // Prepend zero rows to reach the fixed convolution length.
+    Tensor zeros =
+        Tensor::Zeros({order - (step + 1 - begin), emb.size(1)});
+    window = ops::Concat(zeros, window, 0);
+  }
+  Tensor conv_out = conv_.Forward(window, rng);      // [1, dim]
+  Tensor user_emb = user_embedding_.Forward({user}); // [1, dim]
+  return conv_out + user_emb;
+}
+
+Tensor CaserModel::EncodeSource(const std::vector<int64_t>& pois,
+                                const std::vector<double>& /*timestamps*/,
+                                int64_t first_real, int64_t user,
+                                Rng& rng) {
+  // The base class needs states for every step; convolving each step is the
+  // faithful (if costly) translation of Caser's sliding-window training.
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor emb = dropout_.Forward(item_embedding_.Forward(pois), rng);
+  std::vector<Tensor> states;
+  states.reserve(static_cast<size_t>(n));
+  Tensor zero = Tensor::Zeros({1, options_.dim});
+  for (int64_t i = 0; i < n; ++i) {
+    states.push_back(i >= first_real ? EncodeStep(emb, i, user, rng) : zero);
+  }
+  return ops::Reshape(ops::Stack0(states), {n, options_.dim});
+}
+
+}  // namespace stisan::models

@@ -1,0 +1,39 @@
+// Caser baseline (Tang & Wang, WSDM 2018): horizontal + vertical
+// convolutions over the embeddings of the most recent L visits, combined
+// with a user embedding.
+
+#pragma once
+
+#include "models/neural_base.h"
+#include "nn/conv.h"
+
+namespace stisan::models {
+
+struct CaserOptions {
+  NeuralOptions base;
+  int64_t markov_order = 5;       // L: convolution window over recent visits
+  int64_t filters_per_height = 4;
+  int64_t vertical_filters = 2;
+};
+
+class CaserModel : public NeuralSeqModel {
+ public:
+  CaserModel(const data::Dataset& dataset, const CaserOptions& options);
+
+ protected:
+  Tensor EncodeSource(const std::vector<int64_t>& pois,
+                      const std::vector<double>& timestamps,
+                      int64_t first_real, int64_t user, Rng& rng) override;
+
+ private:
+  /// Convolves the L-visit window ending at step i (inclusive).
+  Tensor EncodeStep(const Tensor& emb, int64_t step, int64_t user,
+                    Rng& rng) const;
+
+  CaserOptions caser_options_;
+  nn::CaserConv conv_;
+  nn::Embedding user_embedding_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace stisan::models

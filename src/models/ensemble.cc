@@ -1,0 +1,45 @@
+#include "models/ensemble.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace stisan::models {
+
+EnsembleModel::EnsembleModel(std::vector<Member> members, double rrf_k)
+    : members_(std::move(members)), rrf_k_(rrf_k) {
+  STISAN_CHECK(!members_.empty());
+  STISAN_CHECK_GT(rrf_k_, 0.0);
+  for (const auto& m : members_) {
+    STISAN_CHECK(m.model != nullptr);
+    STISAN_CHECK_GE(m.weight, 0.0);
+  }
+}
+
+void EnsembleModel::Fit(const data::Dataset& dataset,
+                        const std::vector<data::TrainWindow>& train) {
+  for (auto& m : members_) m.model->Fit(dataset, train);
+}
+
+std::vector<float> EnsembleModel::Score(
+    const data::EvalInstance& instance,
+    const std::vector<int64_t>& candidates) {
+  std::vector<float> fused(candidates.size(), 0.0f);
+  std::vector<size_t> order(candidates.size());
+  for (const auto& m : members_) {
+    const auto scores = m.model->Score(instance, candidates);
+    STISAN_CHECK_EQ(scores.size(), candidates.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      fused[order[rank]] += static_cast<float>(
+          m.weight / (rrf_k_ + static_cast<double>(rank)));
+    }
+  }
+  return fused;
+}
+
+}  // namespace stisan::models

@@ -1,0 +1,44 @@
+// Rank-fusion ensemble of recommenders.
+//
+// Combines any set of trained SequentialRecommenders by reciprocal-rank
+// fusion (RRF): each member ranks the candidate list, and candidates score
+// sum_m w_m / (k + rank_m). RRF is scale-free, so members with wildly
+// different score ranges (e.g. POP counts vs inner products) combine
+// sensibly without calibration.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace stisan::models {
+
+class EnsembleModel : public SequentialRecommender {
+ public:
+  struct Member {
+    SequentialRecommender* model = nullptr;  // non-owning
+    double weight = 1.0;
+  };
+
+  /// `rrf_k` is the standard smoothing constant (60 in the original RRF
+  /// paper); smaller values emphasise top ranks more.
+  explicit EnsembleModel(std::vector<Member> members, double rrf_k = 60.0);
+
+  std::string name() const override { return "Ensemble"; }
+
+  /// Fits every member on the same data.
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::TrainWindow>& train) override;
+
+  /// Reciprocal-rank fusion of the members' candidate rankings.
+  std::vector<float> Score(const data::EvalInstance& instance,
+                           const std::vector<int64_t>& candidates) override;
+
+ private:
+  std::vector<Member> members_;
+  double rrf_k_;
+};
+
+}  // namespace stisan::models

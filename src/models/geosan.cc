@@ -1,0 +1,18 @@
+#include "models/geosan.h"
+
+namespace stisan::models {
+
+core::StisanOptions GeoSanModel::MakeOptions(core::StisanOptions options) {
+  options.use_geo_encoder = true;
+  options.use_tape = false;  // vanilla positional encoding
+  options.attention_mode = core::AttentionMode::kVanilla;
+  options.use_taad = true;
+  options.knn_negatives = true;
+  return options;
+}
+
+GeoSanModel::GeoSanModel(const data::Dataset& dataset,
+                         core::StisanOptions options)
+    : inner_(dataset, MakeOptions(std::move(options))) {}
+
+}  // namespace stisan::models

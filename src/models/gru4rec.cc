@@ -1,0 +1,33 @@
+#include "models/gru4rec.h"
+
+namespace stisan::models {
+
+Gru4RecModel::Gru4RecModel(const data::Dataset& dataset,
+                           const NeuralOptions& options)
+    : NeuralSeqModel(dataset, options, "GRU4Rec"),
+      cell_(options.dim, options.dim, rng_),
+      dropout_(options.dropout) {
+  RegisterModule(&cell_);
+  RegisterModule(&dropout_);
+}
+
+Tensor Gru4RecModel::EncodeSource(const std::vector<int64_t>& pois,
+                                  const std::vector<double>& /*timestamps*/,
+                                  int64_t first_real, int64_t /*user*/,
+                                  Rng& rng) {
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor emb = dropout_.Forward(item_embedding_.Forward(pois), rng);
+  Tensor h = Tensor::Zeros({1, options_.dim});
+  std::vector<Tensor> states;
+  states.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor x = ops::Slice(emb, 0, i, i + 1);
+    // Padding steps keep the zero state (their embedding rows are zero, but
+    // skipping the recurrence entirely keeps the state exactly zero).
+    if (i >= first_real) h = cell_.Forward(x, h);
+    states.push_back(h);
+  }
+  return ops::Reshape(ops::Stack0(states), {n, options_.dim});
+}
+
+}  // namespace stisan::models

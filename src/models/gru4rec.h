@@ -1,0 +1,25 @@
+// GRU4Rec baseline (Hidasi et al., ICLR 2016): embedded sequence run
+// through a GRU; the hidden state at each step is the preference vector.
+
+#pragma once
+
+#include "models/neural_base.h"
+#include "nn/recurrent.h"
+
+namespace stisan::models {
+
+class Gru4RecModel : public NeuralSeqModel {
+ public:
+  Gru4RecModel(const data::Dataset& dataset, const NeuralOptions& options);
+
+ protected:
+  Tensor EncodeSource(const std::vector<int64_t>& pois,
+                      const std::vector<double>& timestamps,
+                      int64_t first_real, int64_t user, Rng& rng) override;
+
+ private:
+  nn::GruCell cell_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace stisan::models

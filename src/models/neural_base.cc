@@ -1,0 +1,160 @@
+#include "models/neural_base.h"
+
+#include <algorithm>
+
+#include "tensor/optimizer.h"
+#include "train/loss.h"
+#include "train/lr_schedule.h"
+#include "util/logging.h"
+
+namespace stisan::models {
+namespace {
+
+Tensor StepSelector(const std::vector<int64_t>& step_of_row, int64_t n) {
+  const int64_t m = static_cast<int64_t>(step_of_row.size());
+  Tensor sel = Tensor::Zeros({m, n});
+  float* s = sel.data();
+  for (int64_t r = 0; r < m; ++r) {
+    s[r * n + step_of_row[static_cast<size_t>(r)]] = 1.0f;
+  }
+  return sel;
+}
+
+}  // namespace
+
+NeuralSeqModel::NeuralSeqModel(const data::Dataset& dataset,
+                               const NeuralOptions& options,
+                               std::string model_name)
+    : dataset_(&dataset),
+      options_(options),
+      rng_(options.train.seed),
+      item_embedding_(dataset.num_pois() + 1, options.dim, rng_,
+                      /*padding_idx=*/data::kPaddingPoi),
+      sampler_(std::make_unique<train::UniformNegativeSampler>(
+          dataset.num_pois())),
+      name_(std::move(model_name)) {
+  RegisterModule(&item_embedding_);
+}
+
+Tensor NeuralSeqModel::CandidateEmbedding(
+    const std::vector<int64_t>& candidates) {
+  return item_embedding_.Forward(candidates);
+}
+
+Tensor NeuralSeqModel::Preferences(const Tensor& /*candidate_emb*/,
+                                   const Tensor& encoder_out,
+                                   const std::vector<int64_t>& step_of_row,
+                                   int64_t /*first_real*/) {
+  return ops::MatMul(StepSelector(step_of_row, encoder_out.size(0)),
+                     encoder_out);
+}
+
+void NeuralSeqModel::Fit(const data::Dataset& dataset,
+                         const std::vector<data::TrainWindow>& train) {
+  STISAN_CHECK_EQ(&dataset, dataset_);
+  const auto& cfg = options_.train;
+  const int64_t num_negatives = std::max<int64_t>(1, cfg.num_negatives);
+
+  Adam optimizer(Parameters(), {.lr = cfg.lr});
+  SetTraining(true);
+
+  // Optional cosine learning-rate decay over the whole run.
+  const int64_t windows_per_epoch =
+      cfg.max_train_windows > 0
+          ? std::min<int64_t>(cfg.max_train_windows,
+                              static_cast<int64_t>(train.size()))
+          : static_cast<int64_t>(train.size());
+  const int64_t total_steps = std::max<int64_t>(
+      1, cfg.epochs * windows_per_epoch /
+             std::max<int64_t>(1, cfg.batch_size));
+  train::CosineLr schedule(cfg.lr, total_steps, cfg.lr * 0.1f,
+                           std::min<int64_t>(total_steps / 20, 50));
+  int64_t opt_step = 0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+    int64_t in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      if (cfg.max_train_windows > 0 && seen >= cfg.max_train_windows) break;
+      const data::TrainWindow& w = train[idx];
+      const int64_t n = static_cast<int64_t>(w.poi.size()) - 1;
+      const int64_t first_real = std::min<int64_t>(w.first_real, n - 1);
+
+      std::vector<int64_t> src_poi(w.poi.begin(), w.poi.end() - 1);
+      std::vector<double> src_t(w.t.begin(), w.t.end() - 1);
+      Tensor f = EncodeSource(src_poi, src_t, first_real, w.user, rng_);
+
+      std::vector<int64_t> cand_ids;
+      std::vector<int64_t> step_of_row;
+      for (int64_t i = first_real; i < n; ++i) {
+        const int64_t target = w.poi[static_cast<size_t>(i + 1)];
+        cand_ids.push_back(target);
+        step_of_row.push_back(i);
+        for (int64_t neg :
+             sampler_->Sample(target, num_negatives, {target}, rng_)) {
+          cand_ids.push_back(neg);
+          step_of_row.push_back(i);
+        }
+      }
+      const int64_t m = n - first_real;
+      Tensor c = CandidateEmbedding(cand_ids);
+      Tensor s = Preferences(c, f, step_of_row, first_real);
+      Tensor scores = ops::Reshape(ops::SumDim(s * c, 1),
+                                   {m, num_negatives + 1});
+      Tensor pos = ops::Reshape(ops::Slice(scores, 1, 0, 1), {m});
+      Tensor neg = ops::Slice(scores, 1, 1, num_negatives + 1);
+      Tensor loss = train::BceLoss(pos, neg);
+
+      const int64_t bsz = std::max<int64_t>(1, cfg.batch_size);
+      ops::MulScalar(loss, 1.0f / float(bsz)).Backward();
+      epoch_loss += loss.data()[0];
+      ++seen;
+      if (++in_batch == bsz) {
+        if (cfg.cosine_decay) optimizer.SetLr(schedule.Lr(opt_step));
+        ++opt_step;
+        optimizer.ClipGradNorm(cfg.grad_clip);
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(cfg.grad_clip);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    last_epoch_loss_ =
+        seen > 0 ? static_cast<float>(epoch_loss / double(seen)) : 0.0f;
+    if (cfg.on_epoch &&
+        !cfg.on_epoch({.epoch = epoch, .loss = last_epoch_loss_})) {
+      break;
+    }
+    if (cfg.verbose) {
+      STISAN_LOG(INFO) << name_ << " epoch " << (epoch + 1) << "/"
+                       << cfg.epochs << " loss " << last_epoch_loss_;
+    }
+  }
+  SetTraining(false);
+}
+
+std::vector<float> NeuralSeqModel::Score(
+    const data::EvalInstance& instance,
+    const std::vector<int64_t>& candidates) {
+  NoGradGuard no_grad;
+  SetTraining(false);
+  const int64_t n = static_cast<int64_t>(instance.poi.size());
+  Tensor f = EncodeSource(instance.poi, instance.t,
+                          instance.first_real, instance.user, rng_);
+  Tensor c = CandidateEmbedding(candidates);
+  std::vector<int64_t> step_of_row(candidates.size(), n - 1);
+  Tensor s = Preferences(c, f, step_of_row, instance.first_real);
+  return ops::SumDim(s * c, 1).ToVector();
+}
+
+}  // namespace stisan::models

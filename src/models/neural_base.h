@@ -1,0 +1,68 @@
+// Shared training/eval scaffolding for the neural sequential baselines
+// (GRU4Rec, STGN, SASRec, TiSASRec, STAN). Subclasses provide the sequence
+// encoder; this base runs the canonical next-POI training loop — per-step
+// binary cross-entropy against uniformly sampled negatives, scored by inner
+// product with the shared item embedding — and the matching eval scorer.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "models/recommender.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "train/config.h"
+#include "train/negative_sampler.h"
+
+namespace stisan::models {
+
+struct NeuralOptions {
+  int64_t dim = 32;
+  float dropout = 0.2f;
+  train::TrainConfig train;
+};
+
+class NeuralSeqModel : public SequentialRecommender, public nn::Module {
+ public:
+  NeuralSeqModel(const data::Dataset& dataset, const NeuralOptions& options,
+                 std::string model_name);
+
+  std::string name() const override { return name_; }
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::TrainWindow>& train) override;
+  std::vector<float> Score(const data::EvalInstance& instance,
+                           const std::vector<int64_t>& candidates) override;
+
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+ protected:
+  /// Encodes the source sequence into per-step preference states [n, dim].
+  virtual Tensor EncodeSource(const std::vector<int64_t>& pois,
+                              const std::vector<double>& timestamps,
+                              int64_t first_real, int64_t user,
+                              Rng& rng) = 0;
+
+  /// Candidate representations [M, dim]; defaults to the item embedding.
+  virtual Tensor CandidateEmbedding(const std::vector<int64_t>& candidates);
+
+  /// Preference vectors per candidate row given encoder states; defaults to
+  /// selecting the row's step state. STAN overrides this with its recall
+  /// attention.
+  virtual Tensor Preferences(const Tensor& candidate_emb,
+                             const Tensor& encoder_out,
+                             const std::vector<int64_t>& step_of_row,
+                             int64_t first_real);
+
+  const data::Dataset* dataset_;
+  NeuralOptions options_;
+  Rng rng_;
+  nn::Embedding item_embedding_;
+  std::unique_ptr<train::NegativeSampler> sampler_;
+  std::string name_;
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace stisan::models

@@ -1,0 +1,32 @@
+// Common interface implemented by STiSAN and all twelve baselines, so that
+// the evaluator and benches treat every model uniformly (paper eq. 1).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace stisan::models {
+
+/// A trainable sequential POI recommender.
+class SequentialRecommender {
+ public:
+  virtual ~SequentialRecommender() = default;
+
+  /// Model name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on the prepared windows from `dataset`.
+  virtual void Fit(const data::Dataset& dataset,
+                   const std::vector<data::TrainWindow>& train) = 0;
+
+  /// Scores each candidate POI given the instance's history; higher means
+  /// more likely to be visited next.
+  virtual std::vector<float> Score(
+      const data::EvalInstance& instance,
+      const std::vector<int64_t>& candidates) = 0;
+};
+
+}  // namespace stisan::models

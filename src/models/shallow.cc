@@ -1,0 +1,293 @@
+#include "models/shallow.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "geo/geo.h"
+#include "util/check.h"
+
+namespace stisan::models {
+namespace {
+
+float Sigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+void InitFactors(std::vector<float>* v, size_t size, Rng& rng, float scale) {
+  v->resize(size);
+  for (auto& x : *v) x = static_cast<float>(rng.Normal(0.0, scale));
+}
+
+float Dot(const float* a, const float* b, int64_t d) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < d; ++i) s += a[i] * b[i];
+  return s;
+}
+
+// One BPR step on factor rows a (shared) vs positive p and negative q:
+// maximises sigmoid(<a,p> - <a,q>). Applies L2 regularisation.
+void BprUpdate(float* a, float* p, float* q, int64_t d, float lr, float reg,
+               float coeff) {
+  for (int64_t i = 0; i < d; ++i) {
+    const float ai = a[i], pi = p[i], qi = q[i];
+    a[i] += lr * (coeff * (pi - qi) - reg * ai);
+    p[i] += lr * (coeff * ai - reg * pi);
+    q[i] += lr * (-coeff * ai - reg * qi);
+  }
+}
+
+}  // namespace
+
+std::vector<Transition> ExtractTransitions(
+    const std::vector<data::TrainWindow>& train) {
+  std::vector<Transition> out;
+  for (const auto& w : train) {
+    for (size_t i = static_cast<size_t>(std::max<int64_t>(w.first_real, 0));
+         i + 1 < w.poi.size(); ++i) {
+      if (w.poi[i] == data::kPaddingPoi ||
+          w.poi[i + 1] == data::kPaddingPoi) {
+        continue;
+      }
+      out.push_back({w.user, w.poi[i], w.poi[i + 1]});
+    }
+  }
+  return out;
+}
+
+// ---- POP ---------------------------------------------------------------------
+
+void PopModel::Fit(const data::Dataset& dataset,
+                   const std::vector<data::TrainWindow>& train) {
+  counts_.assign(static_cast<size_t>(dataset.num_pois()) + 1, 0);
+  for (const auto& w : train) {
+    for (int64_t poi : w.poi) {
+      if (poi != data::kPaddingPoi) counts_[static_cast<size_t>(poi)]++;
+    }
+  }
+}
+
+std::vector<float> PopModel::Score(const data::EvalInstance&,
+                                   const std::vector<int64_t>& candidates) {
+  std::vector<float> out(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = static_cast<float>(count(candidates[i]));
+  }
+  return out;
+}
+
+// ---- BPR ----------------------------------------------------------------------
+
+float BprMfModel::Predict(int64_t user, int64_t poi) const {
+  return Dot(&user_factors_[static_cast<size_t>(user * options_.dim)],
+             &poi_factors_[static_cast<size_t>(poi * options_.dim)],
+             options_.dim) +
+         poi_bias_[static_cast<size_t>(poi)];
+}
+
+void BprMfModel::Fit(const data::Dataset& dataset,
+                     const std::vector<data::TrainWindow>& train) {
+  num_users_ = dataset.num_users();
+  num_pois_ = dataset.num_pois();
+  Rng rng(options_.seed);
+  const float scale = 0.1f;
+  InitFactors(&user_factors_, static_cast<size_t>(num_users_ * options_.dim),
+              rng, scale);
+  InitFactors(&poi_factors_,
+              static_cast<size_t>((num_pois_ + 1) * options_.dim), rng,
+              scale);
+  poi_bias_.assign(static_cast<size_t>(num_pois_) + 1, 0.0f);
+
+  auto transitions = ExtractTransitions(train);
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(transitions);
+    for (const auto& tr : transitions) {
+      const int64_t neg =
+          1 + static_cast<int64_t>(rng.UniformInt(
+                  static_cast<uint64_t>(num_pois_)));
+      if (neg == tr.next) continue;
+      const float diff = Predict(tr.user, tr.next) - Predict(tr.user, neg);
+      const float coeff = 1.0f - Sigmoid(diff);
+      BprUpdate(&user_factors_[size_t(tr.user * options_.dim)],
+                &poi_factors_[size_t(tr.next * options_.dim)],
+                &poi_factors_[size_t(neg * options_.dim)], options_.dim,
+                options_.lr, options_.reg, coeff);
+      poi_bias_[size_t(tr.next)] +=
+          options_.lr * (coeff - options_.reg * poi_bias_[size_t(tr.next)]);
+      poi_bias_[size_t(neg)] -=
+          options_.lr * (coeff + options_.reg * poi_bias_[size_t(neg)]);
+    }
+  }
+}
+
+std::vector<float> BprMfModel::Score(const data::EvalInstance& instance,
+                                     const std::vector<int64_t>& candidates) {
+  std::vector<float> out(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = Predict(instance.user, candidates[i]);
+  }
+  return out;
+}
+
+// ---- FPMC-LR ------------------------------------------------------------------
+
+float FpmcLrModel::Predict(int64_t user, int64_t prev, int64_t next) const {
+  const int64_t d = options_.dim;
+  return Dot(&ui_[size_t(user * d)], &iu_[size_t(next * d)], d) +
+         Dot(&li_[size_t(prev * d)], &il_[size_t(next * d)], d);
+}
+
+void FpmcLrModel::Fit(const data::Dataset& dataset,
+                      const std::vector<data::TrainWindow>& train) {
+  num_users_ = dataset.num_users();
+  num_pois_ = dataset.num_pois();
+  Rng rng(options_.seed);
+  const float scale = 0.1f;
+  const int64_t d = options_.dim;
+  InitFactors(&ui_, static_cast<size_t>(num_users_ * d), rng, scale);
+  InitFactors(&iu_, static_cast<size_t>((num_pois_ + 1) * d), rng, scale);
+  InitFactors(&li_, static_cast<size_t>((num_pois_ + 1) * d), rng, scale);
+  InitFactors(&il_, static_cast<size_t>((num_pois_ + 1) * d), rng, scale);
+
+  auto transitions = ExtractTransitions(train);
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(transitions);
+    for (const auto& tr : transitions) {
+      // Localized-region negative: resample until within region of prev
+      // (bounded retries; the region constraint is what makes this "-LR").
+      int64_t neg = 0;
+      const auto& prev_loc = dataset.poi_location(tr.prev);
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const int64_t cand =
+            1 + static_cast<int64_t>(rng.UniformInt(
+                    static_cast<uint64_t>(num_pois_)));
+        if (cand == tr.next) continue;
+        neg = cand;
+        if (geo::HaversineKm(prev_loc, dataset.poi_location(cand)) <=
+            options_.region_km) {
+          break;
+        }
+      }
+      if (neg == 0 || neg == tr.next) continue;
+      const float diff =
+          Predict(tr.user, tr.prev, tr.next) - Predict(tr.user, tr.prev, neg);
+      const float coeff = 1.0f - Sigmoid(diff);
+      BprUpdate(&ui_[size_t(tr.user * d)], &iu_[size_t(tr.next * d)],
+                &iu_[size_t(neg * d)], d, options_.lr, options_.reg, coeff);
+      BprUpdate(&li_[size_t(tr.prev * d)], &il_[size_t(tr.next * d)],
+                &il_[size_t(neg * d)], d, options_.lr, options_.reg, coeff);
+    }
+  }
+}
+
+std::vector<float> FpmcLrModel::Score(const data::EvalInstance& instance,
+                                      const std::vector<int64_t>& candidates) {
+  // The previous POI is the last real visit in the source sequence.
+  const int64_t prev = instance.poi.back();
+  std::vector<float> out(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = Predict(instance.user, prev, candidates[i]);
+  }
+  return out;
+}
+
+// ---- PRME-G --------------------------------------------------------------------
+
+float PrmeGModel::Predict(int64_t user, int64_t prev, int64_t next,
+                          double dist_km) const {
+  const int64_t d = options_.dim;
+  const float* up = &user_pref_[size_t(user * d)];
+  const float* np = &poi_pref_[size_t(next * d)];
+  const float* ps = &poi_seq_[size_t(prev * d)];
+  const float* ns = &poi_seq_[size_t(next * d)];
+  float d_pref = 0.0f, d_seq = 0.0f;
+  for (int64_t i = 0; i < d; ++i) {
+    const float a = up[i] - np[i];
+    const float b = ps[i] - ns[i];
+    d_pref += a * a;
+    d_seq += b * b;
+  }
+  const float metric =
+      options_.alpha * d_pref + (1.0f - options_.alpha) * d_seq;
+  const float weight =
+      1.0f + options_.geo_weight * static_cast<float>(dist_km);
+  return -weight * metric;
+}
+
+void PrmeGModel::Fit(const data::Dataset& dataset,
+                     const std::vector<data::TrainWindow>& train) {
+  dataset_ = &dataset;
+  num_users_ = dataset.num_users();
+  num_pois_ = dataset.num_pois();
+  Rng rng(options_.seed);
+  const int64_t d = options_.dim;
+  InitFactors(&user_pref_, static_cast<size_t>(num_users_ * d), rng, 0.1f);
+  InitFactors(&poi_pref_, static_cast<size_t>((num_pois_ + 1) * d), rng,
+              0.1f);
+  InitFactors(&poi_seq_, static_cast<size_t>((num_pois_ + 1) * d), rng, 0.1f);
+
+  auto transitions = ExtractTransitions(train);
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(transitions);
+    for (const auto& tr : transitions) {
+      const int64_t neg =
+          1 + static_cast<int64_t>(rng.UniformInt(
+                  static_cast<uint64_t>(num_pois_)));
+      if (neg == tr.next) continue;
+      const auto& prev_loc = dataset.poi_location(tr.prev);
+      const double dist_pos =
+          geo::HaversineKm(prev_loc, dataset.poi_location(tr.next));
+      const double dist_neg =
+          geo::HaversineKm(prev_loc, dataset.poi_location(neg));
+      const float diff = Predict(tr.user, tr.prev, tr.next, dist_pos) -
+                         Predict(tr.user, tr.prev, neg, dist_neg);
+      const float coeff = 1.0f - Sigmoid(diff);
+      // Gradient of -w * D wrt the embeddings (metric learning updates).
+      const float w_pos =
+          1.0f + options_.geo_weight * static_cast<float>(dist_pos);
+      const float w_neg =
+          1.0f + options_.geo_weight * static_cast<float>(dist_neg);
+      float* up = &user_pref_[size_t(tr.user * d)];
+      float* pp = &poi_pref_[size_t(tr.next * d)];
+      float* pn = &poi_pref_[size_t(neg * d)];
+      float* sp = &poi_seq_[size_t(tr.prev * d)];
+      float* np = &poi_seq_[size_t(tr.next * d)];
+      float* nn = &poi_seq_[size_t(neg * d)];
+      const float lr = options_.lr;
+      const float reg = options_.reg;
+      for (int64_t i = 0; i < d; ++i) {
+        // d(score_pos)/d(...) = -w_pos * 2 * alpha * (up - pp), etc.
+        const float g_pref_pos = -2.0f * options_.alpha * w_pos * (up[i] - pp[i]);
+        const float g_pref_neg = -2.0f * options_.alpha * w_neg * (up[i] - pn[i]);
+        const float g_seq_pos =
+            -2.0f * (1.0f - options_.alpha) * w_pos * (sp[i] - np[i]);
+        const float g_seq_neg =
+            -2.0f * (1.0f - options_.alpha) * w_neg * (sp[i] - nn[i]);
+        // Ascend coeff * (score_pos - score_neg).
+        const float du = coeff * (g_pref_pos - g_pref_neg);
+        up[i] += lr * (du - reg * up[i]);
+        pp[i] += lr * (-coeff * g_pref_pos - reg * pp[i]);
+        pn[i] += lr * (coeff * g_pref_neg - reg * pn[i]);
+        const float ds = coeff * (g_seq_pos - g_seq_neg);
+        sp[i] += lr * (ds - reg * sp[i]);
+        np[i] += lr * (-coeff * g_seq_pos - reg * np[i]);
+        nn[i] += lr * (coeff * g_seq_neg - reg * nn[i]);
+      }
+    }
+  }
+}
+
+std::vector<float> PrmeGModel::Score(const data::EvalInstance& instance,
+                                     const std::vector<int64_t>& candidates) {
+  const int64_t prev = instance.poi.back();
+  const auto& prev_loc = dataset_->poi_location(prev);
+  std::vector<float> out(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double dist =
+        geo::HaversineKm(prev_loc, dataset_->poi_location(candidates[i]));
+    out[i] = Predict(instance.user, prev, candidates[i], dist);
+  }
+  return out;
+}
+
+}  // namespace stisan::models

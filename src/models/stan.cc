@@ -1,0 +1,76 @@
+#include "models/stan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/relation.h"
+#include "core/taad.h"
+#include "geo/geo.h"
+
+namespace stisan::models {
+
+StanModel::StanModel(const data::Dataset& dataset, const StanOptions& options)
+    : NeuralSeqModel(dataset, options.base, "STAN"),
+      stan_options_(options),
+      positions_(options.max_seq_len, options.base.dim, rng_),
+      dropout_(options.base.dropout) {
+  core::IaabOptions block;
+  block.dim = options.base.dim;
+  block.ffn_hidden =
+      options.ffn_hidden > 0 ? options.ffn_hidden : 2 * options.base.dim;
+  block.dropout = options.base.dropout;
+  block.mode = core::AttentionMode::kIntervalAware;
+  encoder_ = std::make_unique<core::IaabEncoder>(block, options.num_blocks,
+                                                 rng_);
+  // Start with a mild preference for spatio-temporal proximity; training
+  // adjusts the two weights.
+  interval_weights_ =
+      RegisterParameter(Tensor::FromVector({2}, {0.5f, 0.5f}));
+  RegisterModule(&positions_);
+  RegisterModule(&dropout_);
+  RegisterModule(encoder_.get());
+}
+
+Tensor StanModel::EncodeSource(const std::vector<int64_t>& pois,
+                               const std::vector<double>& timestamps,
+                               int64_t first_real, int64_t /*user*/,
+                               Rng& rng) {
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor e = item_embedding_.Forward(pois) + positions_.Forward(n);
+  e = dropout_.Forward(e, rng);
+
+  // Proximity matrices in [0, 1]: 1 = closest, 0 = at/beyond the clip.
+  Tensor t_prox = Tensor::Zeros({n, n});
+  Tensor d_prox = Tensor::Zeros({n, n});
+  float* tp = t_prox.data();
+  float* dp = d_prox.data();
+  const double max_t = stan_options_.max_interval_days * 86400.0;
+  const double max_d = stan_options_.max_interval_km;
+  for (int64_t i = first_real; i < n; ++i) {
+    for (int64_t j = first_real; j <= i; ++j) {
+      const double dt = std::min(
+          max_t, std::fabs(timestamps[size_t(i)] - timestamps[size_t(j)]));
+      const double dd = std::min(
+          max_d, geo::HaversineKm(dataset_->poi_location(pois[size_t(i)]),
+                                  dataset_->poi_location(pois[size_t(j)])));
+      tp[i * n + j] = static_cast<float>(1.0 - (max_t > 0 ? dt / max_t : 0));
+      dp[i * n + j] = static_cast<float>(1.0 - (max_d > 0 ? dd / max_d : 0));
+    }
+  }
+  Tensor wt = ops::Slice(interval_weights_, 0, 0, 1);  // [1]
+  Tensor wd = ops::Slice(interval_weights_, 0, 1, 2);  // [1]
+  Tensor bias = t_prox * wt + d_prox * wd;  // broadcast [n,n] * [1]
+
+  Tensor mask = core::BuildPaddedCausalMask(n, first_real);
+  return encoder_->Forward(e, bias, mask, rng);
+}
+
+Tensor StanModel::Preferences(const Tensor& candidate_emb,
+                              const Tensor& encoder_out,
+                              const std::vector<int64_t>& step_of_row,
+                              int64_t first_real) {
+  return core::TaadDecode(candidate_emb, encoder_out, step_of_row,
+                          first_real);
+}
+
+}  // namespace stisan::models

@@ -1,0 +1,50 @@
+// STAN baseline (Luo et al., WWW 2021): a bi-layer attention network that
+// explicitly models the relative spatio-temporal intervals among all POIs.
+//
+// Layer 1 (aggregation): self-attention whose logits carry a learned linear
+// function of the clipped (dt, dd) interval matrices — the lightweight
+// substitution for STAN's interval embedding interpolation (DESIGN.md).
+// Layer 2 (recall): target-conditioned attention over the aggregated states
+// (the same shape as the paper's "attention matching" layer).
+
+#pragma once
+
+#include <memory>
+
+#include "core/iaab.h"
+#include "models/neural_base.h"
+
+namespace stisan::models {
+
+struct StanOptions {
+  NeuralOptions base;
+  int64_t num_blocks = 2;
+  int64_t ffn_hidden = 0;
+  int64_t max_seq_len = 128;
+  double max_interval_days = 10.0;
+  double max_interval_km = 15.0;
+};
+
+class StanModel : public NeuralSeqModel {
+ public:
+  StanModel(const data::Dataset& dataset, const StanOptions& options);
+
+ protected:
+  Tensor EncodeSource(const std::vector<int64_t>& pois,
+                      const std::vector<double>& timestamps,
+                      int64_t first_real, int64_t user, Rng& rng) override;
+
+  /// Recall layer: target-aware attention over the aggregated states.
+  Tensor Preferences(const Tensor& candidate_emb, const Tensor& encoder_out,
+                     const std::vector<int64_t>& step_of_row,
+                     int64_t first_real) override;
+
+ private:
+  StanOptions stan_options_;
+  nn::LearnedPositionalEmbedding positions_;
+  nn::Dropout dropout_;
+  std::unique_ptr<core::IaabEncoder> encoder_;
+  Tensor interval_weights_;  // [2]: learned weights for (1-dt~, 1-dd~)
+};
+
+}  // namespace stisan::models

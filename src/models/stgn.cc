@@ -1,0 +1,52 @@
+#include "models/stgn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace stisan::models {
+
+StgnModel::StgnModel(const data::Dataset& dataset,
+                     const NeuralOptions& options)
+    : NeuralSeqModel(dataset, options, "STGN"),
+      cell_(options.dim, options.dim, rng_),
+      dropout_(options.dropout) {
+  RegisterModule(&cell_);
+  RegisterModule(&dropout_);
+}
+
+Tensor StgnModel::EncodeSource(const std::vector<int64_t>& pois,
+                               const std::vector<double>& timestamps,
+                               int64_t first_real, int64_t /*user*/,
+                               Rng& rng) {
+  const int64_t n = static_cast<int64_t>(pois.size());
+  Tensor emb = dropout_.Forward(item_embedding_.Forward(pois), rng);
+  nn::StgnCell::State state{Tensor::Zeros({1, options_.dim}),
+                            Tensor::Zeros({1, options_.dim}),
+                            Tensor::Zeros({1, options_.dim})};
+  std::vector<Tensor> states;
+  states.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor x = ops::Slice(emb, 0, i, i + 1);
+    if (i >= first_real) {
+      // Normalised intervals to the previous real step.
+      float dt = 0.0f, dd = 0.0f;
+      if (i > first_real) {
+        dt = static_cast<float>(std::min(
+            10.0, (timestamps[size_t(i)] - timestamps[size_t(i - 1)]) /
+                      86400.0));  // days, clipped
+        dd = static_cast<float>(std::min(
+            100.0, geo::HaversineKm(
+                       dataset_->poi_location(pois[size_t(i)]),
+                       dataset_->poi_location(pois[size_t(i - 1)])))) /
+             10.0f;
+      }
+      state = cell_.Forward(x, state, dt, dd);
+    }
+    states.push_back(state.h);
+  }
+  return ops::Reshape(ops::Stack0(states), {n, options_.dim});
+}
+
+}  // namespace stisan::models

@@ -1,0 +1,25 @@
+// STGN baseline (Zhao et al., AAAI 2019): an LSTM whose gates are modulated
+// by the time and distance intervals between successive check-ins.
+
+#pragma once
+
+#include "models/neural_base.h"
+#include "nn/recurrent.h"
+
+namespace stisan::models {
+
+class StgnModel : public NeuralSeqModel {
+ public:
+  StgnModel(const data::Dataset& dataset, const NeuralOptions& options);
+
+ protected:
+  Tensor EncodeSource(const std::vector<int64_t>& pois,
+                      const std::vector<double>& timestamps,
+                      int64_t first_real, int64_t user, Rng& rng) override;
+
+ private:
+  nn::StgnCell cell_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace stisan::models

@@ -1,0 +1,111 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace stisan::nn {
+
+Tensor BuildCausalMask(int64_t n) {
+  Tensor mask = Tensor::Zeros({n, n});
+  float* m = mask.data();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = i + 1; j < n; ++j) m[i * n + j] = -1e9f;
+  return mask;
+}
+
+CausalSelfAttention::CausalSelfAttention(int64_t dim, float dropout, Rng& rng,
+                                         bool causal,
+                                         bool identity_init_values,
+                                         int64_t num_heads)
+    : dim_(dim),
+      num_heads_(num_heads),
+      causal_(causal),
+      wq_(dim, dim, rng, /*bias=*/false),
+      wk_(dim, dim, rng, /*bias=*/false),
+      wv_(dim, dim, rng, /*bias=*/false),
+      dropout_(dropout) {
+  STISAN_CHECK_GE(num_heads, 1);
+  STISAN_CHECK_EQ(dim % num_heads, 0);
+  if (identity_init_values) {
+    Tensor w = wv_.Parameters()[0];
+    const Tensor id = Tensor::Identity(dim);
+    for (int64_t i = 0; i < w.numel(); ++i) w.data()[i] = id.data()[i];
+  }
+  RegisterModule(&wq_);
+  RegisterModule(&wk_);
+  RegisterModule(&wv_);
+  RegisterModule(&dropout_);
+}
+
+Tensor CausalSelfAttention::HeadAttention(const Tensor& q, const Tensor& k,
+                                          const Tensor& v, const Tensor& bias,
+                                          int64_t n, Rng& rng,
+                                          bool with_dropout) const {
+  Tensor logits = ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
+                                 1.0f / std::sqrt(float(q.size(1))));
+  if (causal_) logits = logits + BuildCausalMask(n);
+  if (bias.defined()) {
+    STISAN_CHECK(bias.shape() == (Shape{n, n}));
+    logits = logits + bias;
+  }
+  Tensor att = ops::Softmax(logits);
+  if (with_dropout) att = dropout_.Forward(att, rng);
+  return ops::MatMul(att, v);
+}
+
+Tensor CausalSelfAttention::Forward(const Tensor& x, const Tensor& bias,
+                                    Rng& rng) const {
+  const int64_t n = x.size(0);
+  STISAN_CHECK_EQ(x.size(1), dim_);
+  Tensor q = wq_.Forward(x);
+  Tensor k = wk_.Forward(x);
+  Tensor v = wv_.Forward(x);
+  if (num_heads_ == 1) {
+    return HeadAttention(q, k, v, bias, n, rng, /*with_dropout=*/true);
+  }
+  // Multi-head: slice [n, d] into head-sized columns, attend per head,
+  // concatenate. The additive bias is shared across heads.
+  const int64_t dk = dim_ / num_heads_;
+  Tensor out;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor head = HeadAttention(
+        ops::Slice(q, 1, h * dk, (h + 1) * dk),
+        ops::Slice(k, 1, h * dk, (h + 1) * dk),
+        ops::Slice(v, 1, h * dk, (h + 1) * dk), bias, n, rng,
+        /*with_dropout=*/true);
+    out = out.defined() ? ops::Concat(out, head, 1) : head;
+  }
+  return out;
+}
+
+Tensor CausalSelfAttention::AttentionMap(const Tensor& x,
+                                         const Tensor& bias) const {
+  // Probe uses the first head's map (identical to the full map when
+  // single-head).
+  const int64_t n = x.size(0);
+  const int64_t dk = dim_ / num_heads_;
+  Tensor q = ops::Slice(wq_.Forward(x), 1, 0, dk);
+  Tensor k = ops::Slice(wk_.Forward(x), 1, 0, dk);
+  Tensor logits = ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
+                                 1.0f / std::sqrt(float(dk)));
+  if (causal_) logits = logits + BuildCausalMask(n);
+  if (bias.defined()) logits = logits + bias;
+  return ops::Softmax(logits);
+}
+
+Tensor CrossAttention::Forward(const Tensor& queries,
+                               const Tensor& keys_values,
+                               const Tensor& mask) const {
+  STISAN_CHECK_EQ(queries.size(1), dim_);
+  STISAN_CHECK_EQ(keys_values.size(1), dim_);
+  Tensor logits =
+      ops::MulScalar(ops::MatMul(queries, ops::TransposeLast2(keys_values)),
+                     1.0f / std::sqrt(float(dim_)));
+  if (mask.defined()) {
+    STISAN_CHECK(mask.shape() == logits.shape());
+    logits = logits + mask;
+  }
+  Tensor att = ops::Softmax(logits);
+  return ops::MatMul(att, keys_values);
+}
+
+}  // namespace stisan::nn

@@ -1,0 +1,45 @@
+#include "nn/conv.h"
+
+namespace stisan::nn {
+
+CaserConv::CaserConv(int64_t seq_len, int64_t dim,
+                     std::vector<int64_t> heights,
+                     int64_t filters_per_height, int64_t vertical_filters,
+                     int64_t out_dim, float dropout, Rng& rng)
+    : seq_len_(seq_len), dim_(dim), heights_(std::move(heights)),
+      dropout_(dropout) {
+  int64_t feature_dim = 0;
+  for (int64_t h : heights_) {
+    STISAN_CHECK_LE(h, seq_len);
+    horizontal_.push_back(
+        std::make_unique<Linear>(h * dim, filters_per_height, rng));
+    RegisterModule(horizontal_.back().get());
+    feature_dim += filters_per_height;
+  }
+  vertical_ = RegisterParameter(
+      Tensor::Randn({vertical_filters, seq_len}, rng, 0.1f));
+  feature_dim += vertical_filters * dim;
+  out_ = std::make_unique<Linear>(feature_dim, out_dim, rng);
+  RegisterModule(out_.get());
+  RegisterModule(&dropout_);
+}
+
+Tensor CaserConv::Forward(const Tensor& x, Rng& rng) const {
+  STISAN_CHECK(x.shape() == (Shape{seq_len_, dim_}));
+  Tensor features;  // [1, feature_dim], built by concatenation
+  for (size_t k = 0; k < heights_.size(); ++k) {
+    // Unfold windows of height h, apply the filter bank, ReLU, max-over-time.
+    Tensor windows = ops::Unfold1D(x, heights_[k]);       // [n-h+1, h*d]
+    Tensor conv = ops::Relu(horizontal_[k]->Forward(windows));
+    Tensor pooled = ops::MaxDim(conv, 0, /*keepdim=*/true);  // [1, F]
+    features = features.defined() ? ops::Concat(features, pooled, 1) : pooled;
+  }
+  // Vertical filters: [F_v, n] x [n, d] -> [F_v, d] -> flatten to [1, F_v*d].
+  Tensor vert = ops::Reshape(ops::MatMul(vertical_, x),
+                             {1, vertical_.size(0) * dim_});
+  features = features.defined() ? ops::Concat(features, vert, 1) : vert;
+  features = dropout_.Forward(features, rng);
+  return out_->Forward(features);
+}
+
+}  // namespace stisan::nn

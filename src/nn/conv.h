@@ -1,0 +1,43 @@
+// Caser-style convolution block (Tang & Wang, WSDM 2018): horizontal
+// filters of several heights with max-over-time pooling, plus vertical
+// filters aggregating over the time axis.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace stisan::nn {
+
+/// Convolutional sequence encoder over an [n, d] embedded sequence.
+///
+/// Horizontal: for each height h in `heights`, `filters_per_height` filters
+/// of shape [h, d] slide over time; ReLU + max-over-time pooling yields
+/// `filters_per_height` features per height.
+/// Vertical: `vertical_filters` filters of shape [n, 1] compute weighted
+/// sums over time per embedding dimension, yielding vertical_filters * d
+/// features.
+/// The concatenated feature vector is projected back to `out_dim`.
+class CaserConv : public Module {
+ public:
+  CaserConv(int64_t seq_len, int64_t dim, std::vector<int64_t> heights,
+            int64_t filters_per_height, int64_t vertical_filters,
+            int64_t out_dim, float dropout, Rng& rng);
+
+  /// x: [seq_len, dim] -> [1, out_dim].
+  Tensor Forward(const Tensor& x, Rng& rng) const;
+
+ private:
+  int64_t seq_len_;
+  int64_t dim_;
+  std::vector<int64_t> heights_;
+  std::vector<std::unique_ptr<Linear>> horizontal_;  // one per height
+  Tensor vertical_;                                  // [vertical_filters, n]
+  std::unique_ptr<Linear> out_;
+  Dropout dropout_;
+};
+
+}  // namespace stisan::nn

@@ -1,0 +1,36 @@
+#include "nn/flops.h"
+
+namespace stisan::nn {
+
+int64_t LinearFlops(int64_t m, int64_t k, int64_t n) { return 2 * m * k * n; }
+
+int64_t SelfAttentionFlops(int64_t n, int64_t d) {
+  int64_t flops = 0;
+  flops += 3 * LinearFlops(n, d, d);  // Q, K, V projections
+  flops += 2 * n * n * d;             // Q K^T
+  flops += n * n;                     // scale by 1/sqrt(d)
+  flops += 5 * n * n;                 // softmax (max, sub, exp, sum, div)
+  flops += 2 * n * n * d;             // attention x V
+  return flops;
+}
+
+int64_t FeedForwardFlops(int64_t n, int64_t d, int64_t d_hidden) {
+  return LinearFlops(n, d, d_hidden) + n * d_hidden  // +bias, ReLU
+         + LinearFlops(n, d_hidden, d) + n * d;
+}
+
+int64_t LayerNormFlops(int64_t n, int64_t d) {
+  return 8 * n * d;  // mean, var, normalise, affine
+}
+
+int64_t SaBlockFlops(int64_t n, int64_t d, int64_t d_hidden) {
+  return SelfAttentionFlops(n, d) + FeedForwardFlops(n, d, d_hidden) +
+         2 * LayerNormFlops(n, d) + 2 * n * d;  // residual adds
+}
+
+int64_t IaabBlockFlops(int64_t n, int64_t d, int64_t d_hidden) {
+  // Softmax-scaling of R plus point-wise addition to the attention map.
+  return SaBlockFlops(n, d, d_hidden) + 5 * n * n + n * n;
+}
+
+}  // namespace stisan::nn

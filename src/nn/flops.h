@@ -1,0 +1,32 @@
+// Analytic floating-point-operation counts for the complexity comparison in
+// the paper's Table VI. Counts follow the usual convention of 2 FLOPs per
+// multiply-accumulate.
+
+#pragma once
+
+#include <cstdint>
+
+namespace stisan::nn {
+
+/// FLOPs of a dense layer mapping [m, k] -> [m, n].
+int64_t LinearFlops(int64_t m, int64_t k, int64_t n);
+
+/// FLOPs of one single-head self-attention layer over an [n, d] sequence:
+/// QKV projections, Q K^T, softmax, attention-weighted sum.
+int64_t SelfAttentionFlops(int64_t n, int64_t d);
+
+/// FLOPs of the two-layer point-wise feed-forward network (hidden d_h).
+int64_t FeedForwardFlops(int64_t n, int64_t d, int64_t d_hidden);
+
+/// FLOPs of one vanilla self-attention block (attention + FFN + 2 layernorm).
+int64_t SaBlockFlops(int64_t n, int64_t d, int64_t d_hidden);
+
+/// FLOPs of one Interval Aware Attention Block: the SA block plus the
+/// point-wise addition of the softmax-scaled relation matrix. The paper's
+/// point is that the increment is negligible.
+int64_t IaabBlockFlops(int64_t n, int64_t d, int64_t d_hidden);
+
+/// FLOPs of LayerNorm over [n, d].
+int64_t LayerNormFlops(int64_t n, int64_t d);
+
+}  // namespace stisan::nn

@@ -1,0 +1,79 @@
+#include "nn/module.h"
+
+#include <algorithm>
+
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace stisan::nn {
+
+namespace {
+constexpr uint64_t kCheckpointMagic = 0x53544953414e4d31ull;  // "STISANM1"
+}  // namespace
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* child : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (Module* child : children_) child->SetTraining(training);
+}
+
+Tensor Module::RegisterParameter(Tensor t) {
+  t.SetRequiresGrad(true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterModule(Module* child) { children_.push_back(child); }
+
+Status Module::SaveParameters(const std::string& path) const {
+  BinaryWriter writer(path);
+  const auto params = Parameters();
+  writer.WriteU64(kCheckpointMagic);
+  writer.WriteU64(params.size());
+  for (const Tensor& p : params) {
+    writer.WriteInt64Vector(p.shape());
+    writer.WriteFloatVector(p.ToVector());
+  }
+  return writer.Finish();
+}
+
+Status Module::LoadParameters(const std::string& path) {
+  BinaryReader reader(path);
+  STISAN_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a STiSAN checkpoint: " + path);
+  }
+  auto params = Parameters();
+  STISAN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %llu parameters, module expects %zu",
+        static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Tensor& p : params) {
+    STISAN_ASSIGN_OR_RETURN(std::vector<int64_t> shape,
+                            reader.ReadInt64Vector());
+    if (shape != p.shape()) {
+      return Status::InvalidArgument(
+          "checkpoint shape mismatch: expected " + ShapeToString(p.shape()) +
+          " got " + ShapeToString(shape));
+    }
+    STISAN_ASSIGN_OR_RETURN(std::vector<float> values,
+                            reader.ReadFloatVector());
+    if (static_cast<int64_t>(values.size()) != p.numel()) {
+      return Status::InvalidArgument("checkpoint value count mismatch");
+    }
+    std::copy(values.begin(), values.end(), p.data());
+  }
+  return Status::OK();
+}
+
+}  // namespace stisan::nn

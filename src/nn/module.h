@@ -1,0 +1,55 @@
+// Module base class: parameter registration and train/eval mode.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace stisan::nn {
+
+/// Base class for layers and models.
+///
+/// Subclasses register their trainable tensors with RegisterParameter and
+/// their sub-layers with RegisterModule; Parameters() then yields the full
+/// recursive list for the optimizer. Training mode propagates to children
+/// (affects dropout).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Tensor> Parameters() const;
+
+  /// Switches between training (dropout active) and eval mode.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Writes all parameters (recursively, in registration order) to a
+  /// binary checkpoint file.
+  Status SaveParameters(const std::string& path) const;
+
+  /// Restores parameters from a checkpoint produced by SaveParameters on a
+  /// structurally identical module (same parameter count and shapes).
+  Status LoadParameters(const std::string& path);
+
+ protected:
+  /// Registers and returns a trainable tensor.
+  Tensor RegisterParameter(Tensor t);
+
+  /// Registers a child module (non-owning; child must outlive this).
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+}  // namespace stisan::nn

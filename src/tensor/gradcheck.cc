@@ -1,0 +1,54 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace stisan {
+
+Status CheckGradients(const std::function<Tensor()>& fn,
+                      std::vector<Tensor> inputs,
+                      const GradCheckOptions& options) {
+  // Analytic gradients.
+  for (auto& t : inputs) t.ZeroGrad();
+  Tensor loss = fn();
+  if (loss.numel() != 1)
+    return Status::InvalidArgument("gradcheck requires a scalar loss");
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& t : inputs) {
+    if (!t.has_grad())
+      return Status::InvalidArgument("input received no gradient");
+    analytic.emplace_back(t.grad_data(), t.grad_data() + t.numel());
+  }
+
+  // Finite differences, one element at a time.
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& t = inputs[k];
+    float* data = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + options.epsilon;
+      const float up = fn().data()[0];
+      data[i] = saved - options.epsilon;
+      const float down = fn().data()[0];
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0f * options.epsilon);
+      const float exact = analytic[k][static_cast<size_t>(i)];
+      const float err = std::fabs(numeric - exact);
+      const float tol =
+          options.atol + options.rtol * std::max(std::fabs(numeric),
+                                                 std::fabs(exact));
+      if (err > tol || std::isnan(err)) {
+        return Status::InvalidArgument(StrFormat(
+            "grad mismatch input=%zu elem=%lld analytic=%g numeric=%g err=%g",
+            k, static_cast<long long>(i), double(exact), double(numeric),
+            double(err)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stisan

@@ -1,0 +1,30 @@
+// Numerical gradient checking harness for unit tests.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace stisan {
+
+struct GradCheckOptions {
+  float epsilon = 1e-3f;       // central-difference step
+  float rtol = 5e-2f;          // relative tolerance
+  float atol = 5e-3f;          // absolute tolerance
+};
+
+/// Verifies analytic gradients of `fn` (mapping inputs -> scalar loss)
+/// against central finite differences for every element of every input.
+///
+/// `fn` must rebuild its graph from the *current contents* of the input
+/// tensors on each call (inputs are perturbed in place between calls).
+/// Returns OK, or InvalidArgument describing the first mismatch.
+Status CheckGradients(const std::function<Tensor()>& fn,
+                      std::vector<Tensor> inputs,
+                      const GradCheckOptions& options = {});
+
+}  // namespace stisan

@@ -1,0 +1,988 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace stisan {
+namespace ops {
+namespace {
+
+using internal::TensorImpl;
+using internal::TensorImplPtr;
+
+// Creates a result node wired to its parents. The backward function is only
+// attached when grad recording is on and at least one parent needs grads.
+Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
+                std::function<void(TensorImpl&)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  const int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  bool needs = false;
+  if (internal::GradEnabled()) {
+    for (const auto& p : parents)
+      if (p && p->requires_grad) needs = true;
+  }
+  impl->requires_grad = needs;
+  if (needs) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward);
+  }
+  return Tensor(std::move(impl));
+}
+
+// ---- Broadcasting machinery ------------------------------------------------
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    STISAN_CHECK_MSG(da == db || da == 1 || db == 1,
+                     "incompatible broadcast " << ShapeToString(a) << " vs "
+                                               << ShapeToString(b));
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+// Row-major strides; broadcast (size-1) dims get stride 0 when aligned to a
+// larger output shape.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  std::vector<int64_t> strides(out.size(), 0);
+  int64_t stride = 1;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const size_t d = in.size() - 1 - i;
+    const size_t od = out.size() - 1 - i;
+    strides[od] = (in[d] == 1) ? 0 : stride;
+    stride *= in[d];
+  }
+  return strides;
+}
+
+// Iterates the output index space of `out_shape` calling
+// fn(out_flat, a_flat, b_flat).
+template <typename Fn>
+void ForEachBroadcast(const Shape& out_shape, const Shape& a_shape,
+                      const Shape& b_shape, Fn&& fn) {
+  const int64_t n = NumElements(out_shape);
+  const size_t rank = out_shape.size();
+  if (n == 0) return;
+  const auto sa = BroadcastStrides(a_shape, out_shape);
+  const auto sb = BroadcastStrides(b_shape, out_shape);
+  std::vector<int64_t> idx(rank, 0);
+  int64_t ofs_a = 0;
+  int64_t ofs_b = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    fn(flat, ofs_a, ofs_b);
+    // Increment the multi-index (row-major) and update offsets.
+    for (size_t d = rank; d-- > 0;) {
+      idx[d]++;
+      ofs_a += sa[d];
+      ofs_b += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      ofs_a -= sa[d] * out_shape[d];
+      ofs_b -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+// True when b broadcasts as a trailing vector: a=[..., d], b=[d] (or
+// [1,...,1,d]).
+bool IsTrailingVector(const Shape& a, const Shape& b) {
+  if (a.empty() || b.empty()) return false;
+  if (b.back() != a.back()) return false;
+  for (size_t i = 0; i + 1 < b.size(); ++i)
+    if (b[i] != 1) return false;
+  return true;
+}
+
+// Generic elementwise binary op with fwd(a_val, b_val) and backward partials
+// dfa(g, a, b, out) / dfb(g, a, b, out) evaluated per element.
+template <typename Fwd, typename DA, typename DB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA dfa, DB dfb) {
+  STISAN_CHECK(a.defined() && b.defined());
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor out = MakeNode(
+      out_shape, {ai, bi},
+      [ai, bi, dfa, dfb, out_shape](TensorImpl& self) {
+        const bool need_a = ai->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_a) ai->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        ForEachBroadcast(
+            out_shape, ai->shape, bi->shape,
+            [&](int64_t o, int64_t ia, int64_t ib) {
+              const float g = self.grad[static_cast<size_t>(o)];
+              const float av = ai->data[static_cast<size_t>(ia)];
+              const float bv = bi->data[static_cast<size_t>(ib)];
+              const float ov = self.data[static_cast<size_t>(o)];
+              if (need_a) ai->grad[static_cast<size_t>(ia)] += dfa(g, av, bv, ov);
+              if (need_b) bi->grad[static_cast<size_t>(ib)] += dfb(g, av, bv, ov);
+            });
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  if (SameShape(a.shape(), b.shape())) {
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) od[i] = fwd(ad[i], bd[i]);
+  } else if (IsTrailingVector(a.shape(), b.shape())) {
+    const int64_t d = a.shape().back();
+    const int64_t rows = a.numel() / d;
+    for (int64_t r = 0; r < rows; ++r)
+      for (int64_t c = 0; c < d; ++c)
+        od[r * d + c] = fwd(ad[r * d + c], bd[c]);
+  } else {
+    ForEachBroadcast(out_shape, a.shape(), b.shape(),
+                     [&](int64_t o, int64_t ia, int64_t ib) {
+                       od[o] = fwd(ad[ia], bd[ib]);
+                     });
+  }
+  return out;
+}
+
+// Generic elementwise unary op.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  STISAN_CHECK(a.defined());
+  auto ai = a.impl();
+  Tensor out = MakeNode(a.shape(), {ai}, [ai, bwd](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    const size_t n = self.data.size();
+    for (size_t i = 0; i < n; ++i)
+      ai->grad[i] += bwd(self.grad[i], ai->data[i], self.data[i]);
+  });
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) od[i] = fwd(ad[i]);
+  return out;
+}
+
+// ---- GEMM kernels ------------------------------------------------------------
+
+// C[m,n] (+)= A x B with optional logical transposes.
+// Physical layouts: A is [m,k] (or [k,m] when ta), B is [k,n] (or [n,k] when
+// tb), C is always [m,n].
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool ta, bool tb, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  if (!ta && !tb) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!ta && tb) {  // B physically [n,k]
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        c[i * n + j] += acc;
+      }
+    }
+  } else if (ta && !tb) {  // A physically [k,m]
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {  // ta && tb: A [k,m], B [n,k]
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+        c[i * n + j] += acc;
+      }
+  }
+}
+
+}  // namespace
+
+// ---- Elementwise binary -------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float g, float, float, float) { return g; },
+      [](float g, float, float, float) { return g; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float g, float, float, float) { return g; },
+      [](float g, float, float, float) { return -g; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float g, float, float y, float) { return g * y; },
+      [](float g, float x, float, float) { return g * x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float g, float, float y, float) { return g / y; },
+      [](float g, float x, float y, float) { return -g * x / (y * y); });
+}
+
+// ---- Scalar ----------------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float g, float, float) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float g, float, float) { return g * s; });
+}
+
+// ---- Unary ------------------------------------------------------------------------
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float g, float, float y) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float g, float, float y) { return g * (1.0f - y * y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float g, float, float y) { return g * y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float g, float x, float) { return g / std::max(x, 1e-12f); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float g, float, float y) { return 0.5f * g / std::max(y, 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float g, float x, float) { return 2.0f * g * x; });
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sin(x); },
+      [](float g, float x, float) { return g * std::cos(x); });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::cos(x); },
+      [](float g, float x, float) { return -g * std::sin(x); });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|})
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float g, float x, float) {
+        const float s = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                                  : std::exp(x) / (1.0f + std::exp(x));
+        return g * s;
+      });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float g, float x, float) {
+        return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+      });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  STISAN_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); },
+      [lo, hi](float g, float x, float) {
+        return (x >= lo && x <= hi) ? g : 0.0f;
+      });
+}
+
+Tensor PowScalar(const Tensor& a, float exponent) {
+  return UnaryOp(
+      a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float g, float x, float) {
+        return g * exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+Tensor LogSigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log sigmoid(x) = -softplus(-x)
+        return -(std::max(-x, 0.0f) + std::log1p(std::exp(-std::fabs(x))));
+      },
+      [](float g, float x, float) {
+        const float s = x >= 0.0f ? std::exp(-x) / (1.0f + std::exp(-x))
+                                  : 1.0f / (1.0f + std::exp(x));
+        return g * s;  // sigmoid(-x)
+      });
+}
+
+// ---- Matrix ------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STISAN_CHECK(a.defined() && b.defined());
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  auto ai = a.impl();
+  auto bi = b.impl();
+
+  if (sa.size() == 2 && sb.size() == 2) {
+    const int64_t m = sa[0], k = sa[1], n = sb[1];
+    STISAN_CHECK_EQ(k, sb[0]);
+    Tensor out = MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        Gemm(self.grad.data(), bi->data.data(), ai->grad.data(), m, n, k,
+             false, true, true);  // dA = G x B^T
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        Gemm(ai->data.data(), self.grad.data(), bi->grad.data(), k, m, n,
+             true, false, true);  // dB = A^T x G
+      }
+    });
+    Gemm(a.data(), b.data(), out.data(), m, k, n, false, false, false);
+    return out;
+  }
+
+  if (sa.size() == 3 && sb.size() == 3) {
+    const int64_t bsz = sa[0], m = sa[1], k = sa[2], n = sb[2];
+    STISAN_CHECK_EQ(bsz, sb[0]);
+    STISAN_CHECK_EQ(k, sb[1]);
+    Tensor out = MakeNode(
+        {bsz, m, n}, {ai, bi}, [ai, bi, bsz, m, k, n](TensorImpl& self) {
+          const int64_t sza = m * k, szb = k * n, szc = m * n;
+          if (ai->requires_grad) ai->EnsureGrad();
+          if (bi->requires_grad) bi->EnsureGrad();
+          for (int64_t t = 0; t < bsz; ++t) {
+            if (ai->requires_grad)
+              Gemm(self.grad.data() + t * szc, bi->data.data() + t * szb,
+                   ai->grad.data() + t * sza, m, n, k, false, true, true);
+            if (bi->requires_grad)
+              Gemm(ai->data.data() + t * sza, self.grad.data() + t * szc,
+                   bi->grad.data() + t * szb, k, m, n, true, false, true);
+          }
+        });
+    const int64_t sza = m * k, szb = k * n, szc = m * n;
+    for (int64_t t = 0; t < bsz; ++t)
+      Gemm(a.data() + t * sza, b.data() + t * szb, out.data() + t * szc, m, k,
+           n, false, false, false);
+    return out;
+  }
+
+  if (sa.size() == 3 && sb.size() == 2) {
+    // Shared right operand: flatten the batch.
+    const int64_t bsz = sa[0], m = sa[1], k = sa[2];
+    Tensor flat = Reshape(a, {bsz * m, k});
+    Tensor out = MatMul(flat, b);
+    return Reshape(out, {bsz, m, sb[1]});
+  }
+
+  STISAN_CHECK_MSG(false, "MatMul: unsupported ranks " << ShapeToString(sa)
+                                                       << " x "
+                                                       << ShapeToString(sb));
+  return Tensor();
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  STISAN_CHECK(a.defined());
+  const Shape& s = a.shape();
+  STISAN_CHECK_GE(s.size(), 2u);
+  Shape out_shape = s;
+  std::swap(out_shape[s.size() - 1], out_shape[s.size() - 2]);
+  const int64_t rows = s[s.size() - 2];
+  const int64_t cols = s[s.size() - 1];
+  const int64_t mats = a.numel() / (rows * cols);
+  auto ai = a.impl();
+  Tensor out =
+      MakeNode(out_shape, {ai}, [ai, rows, cols, mats](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int64_t t = 0; t < mats; ++t) {
+          const float* g = self.grad.data() + t * rows * cols;
+          float* ag = ai->grad.data() + t * rows * cols;
+          for (int64_t i = 0; i < rows; ++i)
+            for (int64_t j = 0; j < cols; ++j)
+              ag[i * cols + j] += g[j * rows + i];
+        }
+      });
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int64_t t = 0; t < mats; ++t) {
+    const float* src = ad + t * rows * cols;
+    float* dst = od + t * rows * cols;
+    for (int64_t i = 0; i < rows; ++i)
+      for (int64_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
+  }
+  return out;
+}
+
+// ---- Shape ---------------------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, Shape new_shape) {
+  STISAN_CHECK(a.defined());
+  STISAN_CHECK_EQ(NumElements(new_shape), a.numel());
+  auto ai = a.impl();
+  Tensor out = MakeNode(std::move(new_shape), {ai}, [ai](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) ai->grad[i] += self.grad[i];
+  });
+  std::memcpy(out.data(), a.data(), sizeof(float) * a.numel());
+  return out;
+}
+
+Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim) {
+  STISAN_CHECK(a.defined() && b.defined());
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  STISAN_CHECK_EQ(sa.size(), sb.size());
+  if (dim < 0) dim += static_cast<int64_t>(sa.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (static_cast<int64_t>(i) != dim) {
+      STISAN_CHECK_EQ(sa[i], sb[i]);
+    }
+  }
+  Shape out_shape = sa;
+  out_shape[dim] += sb[dim];
+
+  // View both tensors as [outer, mid, inner] with mid the concat axis.
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= sa[i];
+  for (size_t i = dim + 1; i < sa.size(); ++i) inner *= sa[i];
+  const int64_t ma = sa[dim], mb = sb[dim];
+
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor out = MakeNode(
+      out_shape, {ai, bi}, [ai, bi, outer, inner, ma, mb](TensorImpl& self) {
+        const int64_t mo = ma + mb;
+        if (ai->requires_grad) ai->EnsureGrad();
+        if (bi->requires_grad) bi->EnsureGrad();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g = self.grad.data() + o * mo * inner;
+          if (ai->requires_grad) {
+            float* ga = ai->grad.data() + o * ma * inner;
+            for (int64_t i = 0; i < ma * inner; ++i) ga[i] += g[i];
+          }
+          if (bi->requires_grad) {
+            float* gb = bi->grad.data() + o * mb * inner;
+            for (int64_t i = 0; i < mb * inner; ++i)
+              gb[i] += g[ma * inner + i];
+          }
+        }
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const int64_t mo = ma + mb;
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(od + o * mo * inner, ad + o * ma * inner,
+                sizeof(float) * ma * inner);
+    std::memcpy(od + o * mo * inner + ma * inner, bd + o * mb * inner,
+                sizeof(float) * mb * inner);
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
+  STISAN_CHECK(a.defined());
+  const Shape& s = a.shape();
+  if (dim < 0) dim += static_cast<int64_t>(s.size());
+  STISAN_CHECK_GE(dim, 0);
+  STISAN_CHECK_LT(dim, static_cast<int64_t>(s.size()));
+  STISAN_CHECK_GE(start, 0);
+  STISAN_CHECK_LE(end, s[dim]);
+  STISAN_CHECK_LT(start, end);
+  Shape out_shape = s;
+  out_shape[dim] = end - start;
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= s[i];
+  for (size_t i = dim + 1; i < s.size(); ++i) inner *= s[i];
+  const int64_t mid = s[dim];
+  const int64_t len = end - start;
+
+  auto ai = a.impl();
+  Tensor out = MakeNode(
+      out_shape, {ai},
+      [ai, outer, inner, mid, start, len](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g = self.grad.data() + o * len * inner;
+          float* ga = ai->grad.data() + (o * mid + start) * inner;
+          for (int64_t i = 0; i < len * inner; ++i) ga[i] += g[i];
+        }
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o)
+    std::memcpy(od + o * len * inner, ad + (o * mid + start) * inner,
+                sizeof(float) * len * inner);
+  return out;
+}
+
+Tensor Stack0(const std::vector<Tensor>& parts) {
+  STISAN_CHECK(!parts.empty());
+  const Shape& s0 = parts[0].shape();
+  for (const auto& p : parts) STISAN_CHECK(p.shape() == s0);
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), s0.begin(), s0.end());
+
+  std::vector<TensorImplPtr> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) parents.push_back(p.impl());
+  const int64_t chunk = parts[0].numel();
+  auto parents_copy = parents;
+  Tensor out =
+      MakeNode(out_shape, std::move(parents), [parents_copy, chunk](TensorImpl& self) {
+        for (size_t t = 0; t < parents_copy.size(); ++t) {
+          auto& p = parents_copy[t];
+          if (!p->requires_grad) continue;
+          p->EnsureGrad();
+          const float* g = self.grad.data() + t * chunk;
+          for (int64_t i = 0; i < chunk; ++i) p->grad[i] += g[i];
+        }
+      });
+  float* od = out.data();
+  for (size_t t = 0; t < parts.size(); ++t)
+    std::memcpy(od + t * chunk, parts[t].data(), sizeof(float) * chunk);
+  return out;
+}
+
+Tensor Unfold1D(const Tensor& a, int64_t window) {
+  STISAN_CHECK(a.defined());
+  STISAN_CHECK_EQ(a.dim(), 2);
+  const int64_t n = a.size(0);
+  const int64_t d = a.size(1);
+  STISAN_CHECK_GE(n, window);
+  STISAN_CHECK_GE(window, 1);
+  const int64_t rows = n - window + 1;
+  auto ai = a.impl();
+  Tensor out = MakeNode(
+      {rows, window * d}, {ai}, [ai, rows, window, d](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r)
+          for (int64_t w = 0; w < window; ++w)
+            for (int64_t c = 0; c < d; ++c)
+              ai->grad[(r + w) * d + c] +=
+                  self.grad[r * window * d + w * d + c];
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t w = 0; w < window; ++w)
+      std::memcpy(od + r * window * d + w * d, ad + (r + w) * d,
+                  sizeof(float) * d);
+  return out;
+}
+
+// ---- Reductions -----------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  STISAN_CHECK(a.defined());
+  auto ai = a.impl();
+  Tensor out = MakeNode({1}, {ai}, [ai](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    const float g = self.grad[0];
+    for (auto& v : ai->grad) v += g;
+  });
+  float acc = 0.0f;
+  const float* ad = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += ad[i];
+  out.data()[0] = acc;
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumDim(const Tensor& a, int64_t dim, bool keepdim) {
+  STISAN_CHECK(a.defined());
+  const Shape& s = a.shape();
+  if (dim < 0) dim += static_cast<int64_t>(s.size());
+  STISAN_CHECK_GE(dim, 0);
+  STISAN_CHECK_LT(dim, static_cast<int64_t>(s.size()));
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= s[i];
+  for (size_t i = dim + 1; i < s.size(); ++i) inner *= s[i];
+  const int64_t mid = s[dim];
+
+  Shape out_shape;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (static_cast<int64_t>(i) == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(s[i]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+
+  auto ai = a.impl();
+  Tensor out =
+      MakeNode(out_shape, {ai}, [ai, outer, inner, mid](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int64_t o = 0; o < outer; ++o)
+          for (int64_t m = 0; m < mid; ++m)
+            for (int64_t i = 0; i < inner; ++i)
+              ai->grad[(o * mid + m) * inner + i] +=
+                  self.grad[o * inner + i];
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t i = 0; i < inner; ++i) {
+      float acc = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) acc += ad[(o * mid + m) * inner + i];
+      od[o * inner + i] = acc;
+    }
+  return out;
+}
+
+Tensor MaxDim(const Tensor& a, int64_t dim, bool keepdim) {
+  STISAN_CHECK(a.defined());
+  const Shape& s = a.shape();
+  if (dim < 0) dim += static_cast<int64_t>(s.size());
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= s[i];
+  for (size_t i = dim + 1; i < s.size(); ++i) inner *= s[i];
+  const int64_t mid = s[dim];
+  STISAN_CHECK_GE(mid, 1);
+
+  Shape out_shape;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (static_cast<int64_t>(i) == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(s[i]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(outer * inner));
+  auto ai = a.impl();
+  Tensor out = MakeNode(
+      out_shape, {ai}, [ai, outer, inner, mid, argmax](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int64_t o = 0; o < outer; ++o)
+          for (int64_t i = 0; i < inner; ++i) {
+            const int64_t m = (*argmax)[o * inner + i];
+            ai->grad[(o * mid + m) * inner + i] += self.grad[o * inner + i];
+          }
+      });
+  float* od = out.data();
+  const float* ad = a.data();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = ad[o * mid * inner + i];
+      int64_t bm = 0;
+      for (int64_t m = 1; m < mid; ++m) {
+        const float v = ad[(o * mid + m) * inner + i];
+        if (v > best) {
+          best = v;
+          bm = m;
+        }
+      }
+      od[o * inner + i] = best;
+      (*argmax)[o * inner + i] = bm;
+    }
+  return out;
+}
+
+Tensor MinDim(const Tensor& a, int64_t dim, bool keepdim) {
+  // min(x) = -max(-x); reuse MaxDim's argmax routing.
+  return Neg(MaxDim(Neg(a), dim, keepdim));
+}
+
+Tensor MeanDim(const Tensor& a, int64_t dim, bool keepdim) {
+  const Shape& s = a.shape();
+  int64_t d = dim < 0 ? dim + static_cast<int64_t>(s.size()) : dim;
+  STISAN_CHECK_GE(d, 0);
+  STISAN_CHECK_LT(d, static_cast<int64_t>(s.size()));
+  return MulScalar(SumDim(a, dim, keepdim),
+                   1.0f / static_cast<float>(s[static_cast<size_t>(d)]));
+}
+
+// ---- Neural-net specific ----------------------------------------------------------------
+
+Tensor Softmax(const Tensor& a) {
+  STISAN_CHECK(a.defined());
+  const int64_t d = a.shape().back();
+  const int64_t rows = a.numel() / d;
+  auto ai = a.impl();
+  Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * d;
+      const float* g = self.grad.data() + r * d;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < d; ++j) dot += y[j] * g[j];
+      float* ag = ai->grad.data() + r * d;
+      for (int64_t j = 0; j < d; ++j) ag[j] += y[j] * (g[j] - dot);
+    }
+  });
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = ad + r * d;
+    float* y = od + r * d;
+    float mx = x[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  STISAN_CHECK(a.defined());
+  const int64_t d = a.shape().back();
+  const int64_t rows = a.numel() / d;
+  auto ai = a.impl();
+  Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * d;  // log-probs
+      const float* g = self.grad.data() + r * d;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) gsum += g[j];
+      float* ag = ai->grad.data() + r * d;
+      for (int64_t j = 0; j < d; ++j) ag[j] += g[j] - std::exp(y[j]) * gsum;
+    }
+  });
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = ad + r * d;
+    float* y = od + r * d;
+    float mx = x[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) sum += std::exp(x[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < d; ++j) y[j] = x[j] - lse;
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  STISAN_CHECK(x.defined() && gamma.defined() && beta.defined());
+  const int64_t d = x.shape().back();
+  STISAN_CHECK_EQ(gamma.numel(), d);
+  STISAN_CHECK_EQ(beta.numel(), d);
+  const int64_t rows = x.numel() / d;
+  auto xi = x.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto mu = std::make_shared<std::vector<float>>(rows);
+  auto inv_sigma = std::make_shared<std::vector<float>>(rows);
+
+  Tensor out = MakeNode(
+      x.shape(), {xi, gi, bi},
+      [xi, gi, bi, mu, inv_sigma, rows, d](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_g = gi->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_x) xi->EnsureGrad();
+        if (need_g) gi->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* xr = xi->data.data() + r * d;
+          const float* g = self.grad.data() + r * d;
+          const float m = (*mu)[r];
+          const float is = (*inv_sigma)[r];
+          // xhat_j = (x_j - m) * is
+          float sum_gg = 0.0f;   // sum_j gamma_j * g_j
+          float sum_ggx = 0.0f;  // sum_j gamma_j * g_j * xhat_j
+          for (int64_t j = 0; j < d; ++j) {
+            const float xhat = (xr[j] - m) * is;
+            const float gg = gi->data[j] * g[j];
+            sum_gg += gg;
+            sum_ggx += gg * xhat;
+            if (need_g) gi->grad[j] += g[j] * xhat;
+            if (need_b) bi->grad[j] += g[j];
+          }
+          if (need_x) {
+            float* xg = xi->grad.data() + r * d;
+            const float inv_d = 1.0f / static_cast<float>(d);
+            for (int64_t j = 0; j < d; ++j) {
+              const float xhat = (xr[j] - m) * is;
+              const float gg = gi->data[j] * g[j];
+              xg[j] += is * (gg - inv_d * sum_gg - xhat * inv_d * sum_ggx);
+            }
+          }
+        }
+      });
+  const float* xd = x.data();
+  const float* gd = gamma.data();
+  const float* bd = beta.data();
+  float* od = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd + r * d;
+    float m = 0.0f;
+    for (int64_t j = 0; j < d; ++j) m += xr[j];
+    m /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      const float c = xr[j] - m;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float is = 1.0f / std::sqrt(var + eps);
+    (*mu)[r] = m;
+    (*inv_sigma)[r] = is;
+    float* yr = od + r * d;
+    for (int64_t j = 0; j < d; ++j)
+      yr[j] = gd[j] * (xr[j] - m) * is + bd[j];
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids,
+                       int64_t padding_idx) {
+  STISAN_CHECK(weight.defined());
+  STISAN_CHECK_EQ(weight.dim(), 2);
+  const int64_t vocab = weight.size(0);
+  const int64_t d = weight.size(1);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  for (int64_t id : ids) {
+    STISAN_CHECK_GE(id, 0);
+    STISAN_CHECK_LT(id, vocab);
+  }
+  auto wi = weight.impl();
+  auto ids_copy = std::make_shared<std::vector<int64_t>>(ids);
+  Tensor out = MakeNode(
+      {n, d}, {wi}, [wi, ids_copy, d, padding_idx](TensorImpl& self) {
+        if (!wi->requires_grad) return;
+        wi->EnsureGrad();
+        for (size_t i = 0; i < ids_copy->size(); ++i) {
+          const int64_t id = (*ids_copy)[i];
+          if (id == padding_idx) continue;
+          const float* g = self.grad.data() + i * d;
+          float* wg = wi->grad.data() + id * d;
+          for (int64_t j = 0; j < d; ++j) wg[j] += g[j];
+        }
+      });
+  float* od = out.data();
+  const float* wd = weight.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = ids[static_cast<size_t>(i)];
+    if (id == padding_idx) {
+      std::fill(od + i * d, od + (i + 1) * d, 0.0f);
+    } else {
+      std::memcpy(od + i * d, wd + id * d, sizeof(float) * d);
+    }
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  STISAN_CHECK(a.defined());
+  STISAN_CHECK_GE(p, 0.0f);
+  STISAN_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.numel());
+  for (auto& m : *mask) m = rng.Bernoulli(p) ? 0.0f : scale;
+  auto ai = a.impl();
+  Tensor out = MakeNode(a.shape(), {ai}, [ai, mask](TensorImpl& self) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i)
+      ai->grad[i] += self.grad[i] * (*mask)[i];
+  });
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) od[i] = ad[i] * (*mask)[i];
+  return out;
+}
+
+}  // namespace ops
+
+Tensor operator+(const Tensor& a, const Tensor& b) { return ops::Add(a, b); }
+Tensor operator-(const Tensor& a, const Tensor& b) { return ops::Sub(a, b); }
+Tensor operator*(const Tensor& a, const Tensor& b) { return ops::Mul(a, b); }
+Tensor operator/(const Tensor& a, const Tensor& b) { return ops::Div(a, b); }
+Tensor operator+(const Tensor& a, float s) { return ops::AddScalar(a, s); }
+Tensor operator*(const Tensor& a, float s) { return ops::MulScalar(a, s); }
+Tensor operator-(const Tensor& a) { return ops::Neg(a); }
+
+}  // namespace stisan

@@ -1,0 +1,147 @@
+// Differentiable tensor operations.
+//
+// Every function here builds an autograd node unless recording is disabled
+// via NoGradGuard. Shapes are validated with STISAN_CHECK; mismatches are
+// programming errors.
+//
+// Broadcasting: binary elementwise ops broadcast numpy-style (align shapes
+// from the right; size-1 dims stretch). Gradients are reduce-summed back to
+// each operand's shape.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stisan {
+namespace ops {
+
+// ---- Elementwise binary (broadcasting) ----------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ---- Scalar --------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Unary ----------------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log. Inputs are clamped to >= 1e-12 for stability.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+/// Numerically stable log(1 + exp(x)).
+Tensor Softplus(const Tensor& a);
+
+/// Absolute value. The gradient at 0 is taken as 0.
+Tensor Abs(const Tensor& a);
+
+/// Clamps values to [lo, hi]; gradient is 1 inside, 0 outside.
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+/// Elementwise power with a scalar exponent. For non-integer exponents the
+/// inputs must be positive.
+Tensor PowScalar(const Tensor& a, float exponent);
+
+// ---- Matrix ---------------------------------------------------------------
+
+/// Matrix product. Supports [m,k]x[k,n], batched [b,m,k]x[b,k,n], and
+/// broadcast [b,m,k]x[k,n] (shared right operand).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps the last two dimensions (materialised copy). Requires dim() >= 2.
+Tensor TransposeLast2(const Tensor& a);
+
+// ---- Shape ------------------------------------------------------------------
+
+/// Returns a reshaped view-copy; numel must match.
+Tensor Reshape(const Tensor& a, Shape new_shape);
+
+/// Concatenates two tensors along `dim` (other dims must match).
+Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim);
+
+/// Slices along `dim`, keeping indices [start, end).
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end);
+
+/// Stacks equally-shaped tensors along a new leading dimension.
+Tensor Stack0(const std::vector<Tensor>& parts);
+
+/// Extracts sliding windows from a 2D tensor [n, d]: returns
+/// [n - window + 1, window * d] rows of flattened windows (for Caser's
+/// horizontal convolutions).
+Tensor Unfold1D(const Tensor& a, int64_t window);
+
+// ---- Reductions --------------------------------------------------------------
+
+/// Sum of all elements -> scalar [1].
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> scalar [1].
+Tensor Mean(const Tensor& a);
+
+/// Sum over one dimension. keepdim retains a size-1 dim.
+Tensor SumDim(const Tensor& a, int64_t dim, bool keepdim = false);
+
+/// Max over one dimension (gradient routes to the argmax).
+Tensor MaxDim(const Tensor& a, int64_t dim, bool keepdim = false);
+
+/// Min over one dimension (gradient routes to the argmin).
+Tensor MinDim(const Tensor& a, int64_t dim, bool keepdim = false);
+
+/// Mean over one dimension.
+Tensor MeanDim(const Tensor& a, int64_t dim, bool keepdim = false);
+
+// ---- Neural-net specific -------------------------------------------------------
+
+/// Softmax over the last dimension.
+Tensor Softmax(const Tensor& a);
+
+/// Log-softmax over the last dimension (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+/// Fused layer normalisation over the last dimension:
+///   y = gamma * (x - mu) / sqrt(var + eps) + beta
+/// gamma/beta have shape [d] where d is the last dim of x.
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// Row gather: out[i, :] = weight[ids[i], :]. `weight` is [V, d].
+/// Rows equal to `padding_idx` (if >= 0) produce zeros and receive no
+/// gradient (the paper zero-encodes padding check-ins).
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids,
+                       int64_t padding_idx = -1);
+
+/// Inverted dropout: keeps elements with prob 1-p and scales by 1/(1-p).
+/// Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
+
+// ---- Convenience -----------------------------------------------------------------
+
+/// Scalar loss helpers used by training code.
+/// Numerically stable log(sigmoid(x)).
+Tensor LogSigmoid(const Tensor& a);
+
+}  // namespace ops
+
+// Operator sugar (elementwise, broadcasting).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator/(const Tensor& a, const Tensor& b);
+Tensor operator+(const Tensor& a, float s);
+Tensor operator*(const Tensor& a, float s);
+Tensor operator-(const Tensor& a);
+
+}  // namespace stisan

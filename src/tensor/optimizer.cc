@@ -1,0 +1,89 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace stisan {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad_data();
+    for (int64_t i = 0; i < p.numel(); ++i) total += double(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      if (!p.has_grad()) continue;
+      float* g = p.mutable_grad_data();
+      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_)
+      velocity_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      float grad = g[i] + options_.weight_decay * w[i];
+      if (options_.momentum != 0.0f) {
+        float& vel = velocity_[k][static_cast<size_t>(i)];
+        vel = options_.momentum * vel + grad;
+        grad = vel;
+      }
+      w[i] -= options_.lr * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const float grad = g[i] + options_.weight_decay * w[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+}  // namespace stisan

@@ -1,0 +1,263 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace stisan {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    STISAN_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace internal {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+}
+
+}  // namespace internal
+
+NoGradGuard::NoGradGuard() : previous_(internal::GradEnabled()) {
+  internal::g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { internal::g_grad_enabled = previous_; }
+
+namespace {
+
+internal::TensorImplPtr MakeImpl(Shape shape, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  const int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->requires_grad = requires_grad && internal::GradEnabled();
+  return impl;
+}
+
+int64_t FlatIndex(const Shape& shape, std::initializer_list<int64_t> idx) {
+  STISAN_CHECK_EQ(static_cast<int64_t>(idx.size()),
+                  static_cast<int64_t>(shape.size()));
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    STISAN_CHECK_GE(i, 0);
+    STISAN_CHECK_LT(i, shape[d]);
+    flat = flat * shape[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Tensor(MakeImpl(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data) v = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values,
+                          bool requires_grad) {
+  STISAN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad && internal::GradEnabled();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data)
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi,
+                    bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data) v = rng.UniformFloat(lo, hi);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng,
+                             bool requires_grad) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Rand({fan_in, fan_out}, rng, -bound, bound, requires_grad);
+}
+
+Tensor Tensor::Identity(int64_t n, bool requires_grad) {
+  Tensor t = Zeros({n, n}, requires_grad);
+  for (int64_t i = 0; i < n; ++i) t.data()[i * n + i] = 1.0f;
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const Shape& s = shape();
+  if (d < 0) d += static_cast<int64_t>(s.size());
+  STISAN_CHECK_GE(d, 0);
+  STISAN_CHECK_LT(d, static_cast<int64_t>(s.size()));
+  return s[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::numel() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->numel();
+}
+
+bool Tensor::requires_grad() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+float* Tensor::data() {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data()[FlatIndex(shape(), idx)];
+}
+
+void Tensor::set(std::initializer_list<int64_t> idx, float v) {
+  data()[FlatIndex(shape(), idx)] = v;
+}
+
+std::vector<float> Tensor::ToVector() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->data;
+}
+
+const float* Tensor::grad_data() const {
+  STISAN_CHECK(impl_ != nullptr);
+  STISAN_CHECK_MSG(has_grad(), "gradient not materialised; run Backward()");
+  return impl_->grad.data();
+}
+
+float* Tensor::mutable_grad_data() {
+  STISAN_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+bool Tensor::has_grad() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->grad.size() == impl_->data.size();
+}
+
+void Tensor::ZeroGrad() {
+  STISAN_CHECK(impl_ != nullptr);
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+void Tensor::Backward() {
+  STISAN_CHECK(impl_ != nullptr);
+  STISAN_CHECK_MSG(numel() == 1, "Backward() requires a scalar loss");
+
+  // Iterative post-order topological sort (child after parents), then walk
+  // in reverse so each node's grad is complete before it propagates.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      internal::TensorImpl* parent = f.node->parents[f.next_parent++].get();
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward_fn && node->grad.size() == node->data.size()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  STISAN_CHECK(impl_ != nullptr);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor& Tensor::SetRequiresGrad(bool value) {
+  STISAN_CHECK(impl_ != nullptr);
+  impl_->requires_grad = value;
+  return *this;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape());
+  if (numel() <= 16) {
+    os << " {";
+    for (int64_t i = 0; i < numel(); ++i) {
+      if (i) os << ", ";
+      os << impl_->data[static_cast<size_t>(i)];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace stisan

@@ -1,0 +1,160 @@
+// A small dense float tensor with tape-based reverse-mode autograd.
+//
+// Design notes:
+//  - Tensor is a value-semantic handle (shared_ptr) to a TensorImpl node.
+//    Copies share storage and graph identity, like torch.Tensor.
+//  - Every op (see ops.h) creates a fresh node holding its inputs as parents
+//    and a backward closure; Backward() on a scalar runs a topological sweep.
+//  - Parent edges only point child -> parent, so the graph is acyclic and
+//    reference counting reclaims it once the last handle drops.
+//  - Storage is row-major float32. Shapes are small vectors of int64_t.
+//  - Graph recording can be suspended with NoGradGuard for inference.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace stisan {
+
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (product of dims).
+int64_t NumElements(const Shape& shape);
+
+/// Formats a shape as "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+struct TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Graph node: storage + autograd metadata.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily during backward
+  bool requires_grad = false;
+
+  // Autograd tape: inputs this node was computed from, and a closure that
+  // propagates `grad` into the parents' grads.
+  std::vector<TensorImplPtr> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  void EnsureGrad();  // allocates + zero-fills grad if absent
+};
+
+/// Returns true while autograd graph recording is enabled (default).
+bool GradEnabled();
+
+}  // namespace internal
+
+/// RAII guard that disables autograd recording in its scope (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Dense float tensor handle with optional gradient tracking.
+class Tensor {
+ public:
+  /// Constructs an empty (null) tensor. Most APIs require a non-null tensor.
+  Tensor() = default;
+
+  // ---- Factories ------------------------------------------------------
+
+  /// Zero-filled tensor.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+
+  /// One-filled tensor.
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+
+  /// Constant-filled tensor.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+
+  /// Tensor wrapping a copy of `values`. Size must match the shape.
+  static Tensor FromVector(Shape shape, std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// i.i.d. normal(0, stddev) entries.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  /// i.i.d. uniform[lo, hi) entries.
+  static Tensor Rand(Shape shape, Rng& rng, float lo, float hi,
+                     bool requires_grad = false);
+
+  /// Xavier/Glorot-uniform initialised matrix [fan_in, fan_out].
+  static Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng,
+                              bool requires_grad = true);
+
+  /// Identity matrix [n, n].
+  static Tensor Identity(int64_t n, bool requires_grad = false);
+
+  // ---- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim() const { return static_cast<int64_t>(shape().size()); }
+  int64_t size(int64_t d) const;
+  int64_t numel() const;
+  bool requires_grad() const;
+
+  /// Direct storage access (row-major).
+  float* data();
+  const float* data() const;
+
+  /// Element access for low-dimensional tensors (bounds-checked).
+  float at(std::initializer_list<int64_t> idx) const;
+  void set(std::initializer_list<int64_t> idx, float v);
+
+  /// Copies storage to a std::vector.
+  std::vector<float> ToVector() const;
+
+  /// Gradient storage; requires a completed Backward() pass (or EnsureGrad).
+  const float* grad_data() const;
+  float* mutable_grad_data();
+  bool has_grad() const;
+
+  /// Zero-fills the gradient buffer (allocating it if needed).
+  void ZeroGrad();
+
+  // ---- Autograd --------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this scalar node (numel() == 1).
+  /// Accumulates into .grad of every reachable node with requires_grad.
+  void Backward();
+
+  /// Returns a graph-detached copy sharing no autograd history.
+  /// Storage is copied (the result is safe to mutate).
+  Tensor Detach() const;
+
+  /// Marks this tensor as a trainable leaf (requires_grad = true).
+  Tensor& SetRequiresGrad(bool value);
+
+  /// Formats shape and (for small tensors) values.
+  std::string ToString() const;
+
+  // Internal accessor for ops.
+  internal::TensorImplPtr impl() const { return impl_; }
+  explicit Tensor(internal::TensorImplPtr impl) : impl_(std::move(impl)) {}
+
+ private:
+  internal::TensorImplPtr impl_;
+};
+
+}  // namespace stisan

@@ -1,0 +1,42 @@
+// Shared training configuration for all neural recommenders.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace stisan::train {
+
+/// Per-epoch statistics passed to the optional training callback.
+struct EpochStats {
+  int64_t epoch = 0;  // 0-based
+  float loss = 0.0f;  // mean loss of this epoch
+};
+
+struct TrainConfig {
+  int64_t epochs = 10;
+  /// Windows per optimizer step (gradient accumulation). Larger batches
+  /// reduce gradient noise markedly at this data scale.
+  int64_t batch_size = 8;
+  float lr = 0.001f;          // paper: 0.001
+  float dropout = 0.2f;       // paper: 0.7 at paper scale; lower at CPU scale
+  int64_t num_negatives = 15; // paper: L = 15
+  float temperature = 1.0f;   // paper: T in {1, 100, 500} per dataset
+  int64_t knn_neighborhood = 200;  // paper: 2000 nearest (scaled down)
+  float grad_clip = 5.0f;
+  /// Cosine-decay the learning rate to lr * 0.1 over the training run
+  /// (with a short warmup). Default off: the paper trains with a constant
+  /// Adam learning rate.
+  bool cosine_decay = false;
+  uint64_t seed = 7;
+  bool verbose = false;
+  /// Optional cap on the number of training windows per epoch (0 = all);
+  /// lets benches bound wall-clock on the larger synthetic datasets.
+  int64_t max_train_windows = 0;
+  /// Optional per-epoch hook (validation evaluation, checkpointing, ...).
+  /// Returning false stops training early; the optimizer state is
+  /// preserved across epochs either way.
+  std::function<bool(const EpochStats&)> on_epoch;
+};
+
+}  // namespace stisan::train

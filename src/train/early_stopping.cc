@@ -1,0 +1,54 @@
+#include "train/early_stopping.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace stisan::train {
+
+WindowSplit SplitValidation(const std::vector<data::TrainWindow>& windows,
+                            double validation_fraction, Rng& rng) {
+  STISAN_CHECK_GT(validation_fraction, 0.0);
+  STISAN_CHECK_LT(validation_fraction, 1.0);
+  std::vector<size_t> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  WindowSplit split;
+  size_t val_count = static_cast<size_t>(
+      static_cast<double>(windows.size()) * validation_fraction);
+  if (windows.size() >= 2) {
+    val_count = std::max<size_t>(1, val_count);
+    val_count = std::min(val_count, windows.size() - 1);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < val_count) {
+      split.validation.push_back(windows[order[i]]);
+    } else {
+      split.train.push_back(windows[order[i]]);
+    }
+  }
+  return split;
+}
+
+EarlyStopping::EarlyStopping(int64_t patience, double min_delta)
+    : patience_(patience),
+      min_delta_(min_delta),
+      best_(-std::numeric_limits<double>::infinity()) {
+  STISAN_CHECK_GE(patience, 1);
+  STISAN_CHECK_GE(min_delta, 0.0);
+}
+
+bool EarlyStopping::ShouldStop(double metric) {
+  if (metric > best_ + min_delta_) {
+    best_ = metric;
+    best_epoch_ = epoch_;
+    bad_epochs_ = 0;
+  } else {
+    ++bad_epochs_;
+  }
+  ++epoch_;
+  return bad_epochs_ >= patience_;
+}
+
+}  // namespace stisan::train

@@ -1,0 +1,50 @@
+// Validation utilities: train/validation window splitting and an
+// early-stopping monitor. The paper trains for a fixed epoch budget; these
+// tools let downstream users pick epoch counts on held-out data instead.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/types.h"
+#include "util/rng.h"
+
+namespace stisan::train {
+
+/// Randomly partitions training windows into train/validation subsets.
+/// `validation_fraction` in (0, 1); at least one window lands in each side
+/// when the input has two or more windows.
+struct WindowSplit {
+  std::vector<data::TrainWindow> train;
+  std::vector<data::TrainWindow> validation;
+};
+WindowSplit SplitValidation(const std::vector<data::TrainWindow>& windows,
+                            double validation_fraction, Rng& rng);
+
+/// Tracks a higher-is-better validation metric across epochs and signals
+/// when to stop after `patience` epochs without improvement.
+class EarlyStopping {
+ public:
+  /// `patience`: consecutive non-improving epochs tolerated.
+  /// `min_delta`: improvement smaller than this does not count.
+  explicit EarlyStopping(int64_t patience = 3, double min_delta = 1e-4);
+
+  /// Records the metric for one epoch; returns true if training should
+  /// stop now.
+  bool ShouldStop(double metric);
+
+  double best_metric() const { return best_; }
+  int64_t best_epoch() const { return best_epoch_; }
+  int64_t epochs_seen() const { return epoch_; }
+
+ private:
+  int64_t patience_;
+  double min_delta_;
+  double best_;
+  int64_t best_epoch_ = -1;
+  int64_t epoch_ = 0;
+  int64_t bad_epochs_ = 0;
+};
+
+}  // namespace stisan::train

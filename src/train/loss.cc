@@ -1,0 +1,43 @@
+#include "train/loss.h"
+
+#include "util/check.h"
+
+namespace stisan::train {
+
+Tensor WeightedBceLoss(const Tensor& pos_logits, const Tensor& neg_logits,
+                       float temperature) {
+  STISAN_CHECK_EQ(pos_logits.dim(), 1);
+  STISAN_CHECK_EQ(neg_logits.dim(), 2);
+  STISAN_CHECK_EQ(pos_logits.size(0), neg_logits.size(0));
+  STISAN_CHECK_GT(temperature, 0.0f);
+  const float m = static_cast<float>(pos_logits.size(0));
+
+  Tensor pos_term = ops::Sum(ops::LogSigmoid(pos_logits));
+  // Importance weights from the *detached* negative scores.
+  Tensor weights = ops::Softmax(
+      ops::MulScalar(neg_logits.Detach(), 1.0f / temperature));
+  // log(1 - sigmoid(y)) = log sigmoid(-y)
+  Tensor neg_term = ops::Sum(weights * ops::LogSigmoid(ops::Neg(neg_logits)));
+  return ops::MulScalar(pos_term + neg_term, -1.0f / m);
+}
+
+Tensor BceLoss(const Tensor& pos_logits, const Tensor& neg_logits) {
+  STISAN_CHECK_EQ(pos_logits.dim(), 1);
+  STISAN_CHECK_EQ(pos_logits.size(0), neg_logits.size(0));
+  const float m = static_cast<float>(pos_logits.size(0));
+  const float num_neg =
+      neg_logits.dim() == 2 ? static_cast<float>(neg_logits.size(1)) : 1.0f;
+  Tensor pos_term = ops::Sum(ops::LogSigmoid(pos_logits));
+  Tensor neg_term = ops::MulScalar(
+      ops::Sum(ops::LogSigmoid(ops::Neg(neg_logits))), 1.0f / num_neg);
+  return ops::MulScalar(pos_term + neg_term, -1.0f / m);
+}
+
+Tensor BprLoss(const Tensor& pos_logits, const Tensor& neg_logits) {
+  STISAN_CHECK(pos_logits.shape() == neg_logits.shape());
+  const float m = static_cast<float>(pos_logits.numel());
+  return ops::MulScalar(
+      ops::Sum(ops::LogSigmoid(pos_logits - neg_logits)), -1.0f / m);
+}
+
+}  // namespace stisan::train

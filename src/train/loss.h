@@ -1,0 +1,31 @@
+// Training losses: weighted binary cross-entropy with importance-weighted
+// negatives (paper eq. 12), plain BCE, and BPR.
+
+#pragma once
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace stisan::train {
+
+/// Weighted BCE over valid steps (paper eq. 12, from GeoSAN [23]):
+///
+///   loss = -(1/m) sum_i [ log sigmoid(pos_i)
+///                         + sum_l w_il log(1 - sigmoid(neg_il)) ]
+///   w_il = softmax_l(neg_il / T)   (detached: weights carry no gradient)
+///
+/// pos_logits: [m], neg_logits: [m, L]. T -> infinity recovers uniform
+/// weighting. The sum is averaged over steps for learning-rate stability.
+Tensor WeightedBceLoss(const Tensor& pos_logits, const Tensor& neg_logits,
+                       float temperature);
+
+/// Plain BCE with one (or more, uniformly weighted) negatives per step:
+///   loss = -(1/m) sum_i [ log sigmoid(pos_i) + mean_l log(1 - sigmoid(neg_il)) ]
+Tensor BceLoss(const Tensor& pos_logits, const Tensor& neg_logits);
+
+/// Bayesian personalized ranking loss:
+///   loss = -(1/m) sum_i log sigmoid(pos_i - neg_i)
+/// pos_logits and neg_logits must have the same shape.
+Tensor BprLoss(const Tensor& pos_logits, const Tensor& neg_logits);
+
+}  // namespace stisan::train

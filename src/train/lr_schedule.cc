@@ -1,0 +1,54 @@
+#include "train/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stisan::train {
+
+WarmupLr::WarmupLr(float base_lr, int64_t warmup_steps)
+    : base_lr_(base_lr), warmup_steps_(warmup_steps) {
+  STISAN_CHECK_GE(warmup_steps, 0);
+}
+
+float WarmupLr::Lr(int64_t step) const {
+  if (warmup_steps_ == 0 || step >= warmup_steps_) return base_lr_;
+  return base_lr_ * float(step + 1) / float(warmup_steps_);
+}
+
+StepDecayLr::StepDecayLr(float base_lr, int64_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  STISAN_CHECK_GT(step_size, 0);
+  STISAN_CHECK_GT(gamma, 0.0f);
+}
+
+float StepDecayLr::Lr(int64_t step) const {
+  return base_lr_ *
+         std::pow(gamma_, static_cast<float>(step / step_size_));
+}
+
+CosineLr::CosineLr(float base_lr, int64_t total_steps, float min_lr,
+                   int64_t warmup_steps)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      min_lr_(min_lr),
+      warmup_steps_(warmup_steps) {
+  STISAN_CHECK_GT(total_steps, 0);
+  STISAN_CHECK_GE(warmup_steps, 0);
+  STISAN_CHECK_LE(min_lr, base_lr);
+}
+
+float CosineLr::Lr(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * float(step + 1) / float(warmup_steps_);
+  }
+  const float progress =
+      std::clamp(float(step - warmup_steps_) /
+                     float(std::max<int64_t>(1, total_steps_ - warmup_steps_)),
+                 0.0f, 1.0f);
+  return min_lr_ + 0.5f * (base_lr_ - min_lr_) *
+                       (1.0f + std::cos(progress * float(M_PI)));
+}
+
+}  // namespace stisan::train

@@ -1,0 +1,67 @@
+// Learning-rate schedules. A schedule maps (step, base_lr) -> lr; the
+// trainer queries it each optimizer step and updates the optimizer in
+// place.
+
+#pragma once
+
+#include <cstdint>
+
+namespace stisan::train {
+
+/// Interface for learning-rate schedules.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Returns the learning rate for optimizer step `step` (0-based).
+  virtual float Lr(int64_t step) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float Lr(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup to base_lr over `warmup_steps`, constant afterwards.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(float base_lr, int64_t warmup_steps);
+  float Lr(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+};
+
+/// Step decay: lr = base * gamma^(step / step_size).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base_lr, int64_t step_size, float gamma);
+  float Lr(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over `total_steps`, with
+/// optional linear warmup.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float base_lr, int64_t total_steps, float min_lr = 0.0f,
+           int64_t warmup_steps = 0);
+  float Lr(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  float min_lr_;
+  int64_t warmup_steps_;
+};
+
+}  // namespace stisan::train

@@ -1,0 +1,75 @@
+#include "train/negative_sampler.h"
+
+#include "util/check.h"
+
+namespace stisan::train {
+
+std::vector<int64_t> UniformNegativeSampler::Sample(
+    int64_t /*target_poi*/, int64_t count,
+    const std::unordered_set<int64_t>& exclude, Rng& rng) const {
+  STISAN_CHECK_GT(num_pois_, 0);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  int64_t attempts = 0;
+  const int64_t max_attempts = count * 50 + 100;
+  while (static_cast<int64_t>(out.size()) < count &&
+         attempts++ < max_attempts) {
+    const int64_t p =
+        1 + static_cast<int64_t>(rng.UniformInt(
+                static_cast<uint64_t>(num_pois_)));
+    if (!exclude.contains(p)) out.push_back(p);
+  }
+  // Degenerate exclude sets (tiny POI universes): pad with whatever exists.
+  while (static_cast<int64_t>(out.size()) < count && num_pois_ > 0) {
+    out.push_back(1 + static_cast<int64_t>(rng.UniformInt(
+                          static_cast<uint64_t>(num_pois_))));
+  }
+  return out;
+}
+
+KnnNegativeSampler::KnnNegativeSampler(const data::Dataset& dataset,
+                                       int64_t neighborhood)
+    : num_pois_(dataset.num_pois()), neighborhood_(neighborhood) {
+  STISAN_CHECK_GT(neighborhood_, 0);
+  std::vector<geo::GeoPoint> coords(dataset.poi_coords.begin() + 1,
+                                    dataset.poi_coords.end());
+  geo::SpatialGridIndex index(coords);
+  neighbors_.resize(static_cast<size_t>(num_pois_) + 1);
+  for (int64_t p = 1; p <= num_pois_; ++p) {
+    auto ids = index.KNearest(
+        dataset.poi_location(p), neighborhood_,
+        [p](int64_t id) { return id + 1 != p; });
+    auto& list = neighbors_[static_cast<size_t>(p)];
+    list.reserve(ids.size());
+    for (int64_t id : ids) list.push_back(id + 1);
+  }
+}
+
+std::vector<int64_t> KnnNegativeSampler::Sample(
+    int64_t target_poi, int64_t count,
+    const std::unordered_set<int64_t>& exclude, Rng& rng) const {
+  STISAN_CHECK_GE(target_poi, 1);
+  STISAN_CHECK_LE(target_poi, num_pois_);
+  const auto& pool = neighbors_[static_cast<size_t>(target_poi)];
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  if (pool.empty()) {
+    // No neighbours (single-POI degenerate dataset): fall back to uniform.
+    UniformNegativeSampler fallback(num_pois_);
+    return fallback.Sample(target_poi, count, exclude, rng);
+  }
+  int64_t attempts = 0;
+  const int64_t max_attempts = count * 50 + 100;
+  while (static_cast<int64_t>(out.size()) < count &&
+         attempts++ < max_attempts) {
+    const int64_t p = pool[rng.UniformInt(
+        static_cast<uint64_t>(pool.size()))];
+    if (!exclude.contains(p)) out.push_back(p);
+  }
+  while (static_cast<int64_t>(out.size()) < count) {
+    out.push_back(pool[rng.UniformInt(static_cast<uint64_t>(pool.size()))]);
+  }
+  return out;
+}
+
+}  // namespace stisan::train

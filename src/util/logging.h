@@ -1,0 +1,54 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: STISAN_LOG(INFO) << "epoch " << e << " loss " << loss;
+// The global level is settable at runtime (SetLogLevel) so benches can
+// silence training chatter.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace stisan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// Aliases so STISAN_LOG(INFO) reads like the conventional LOG(INFO).
+namespace log_level {
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARNING = LogLevel::kWarning;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+}  // namespace log_level
+}  // namespace stisan
+
+#define STISAN_LOG(level)                                          \
+  ::stisan::internal::LogMessage(::stisan::log_level::level,       \
+                                 __FILE__, __LINE__)

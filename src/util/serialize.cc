@@ -1,0 +1,111 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace stisan {
+namespace {
+// Sanity cap against corrupt length prefixes (1G elements).
+constexpr uint64_t kMaxVectorLen = 1ull << 30;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_.good()) status_ = Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteInt64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(int64_t));
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = Status::IoError("flush failed");
+  }
+  out_.close();
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+Status BinaryReader::ReadRaw(void* data, size_t bytes) {
+  if (!status_.ok()) return status_;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(bytes)) {
+    status_ = Status::IoError("unexpected end of file");
+  }
+  return status_;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  STISAN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v = 0;
+  STISAN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<float> BinaryReader::ReadF32() {
+  float v = 0;
+  STISAN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxVectorLen) return Status::IoError("corrupt string length");
+  std::string s(len, '\0');
+  STISAN_RETURN_IF_ERROR(ReadRaw(s.data(), len));
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadFloatVector() {
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxVectorLen) return Status::IoError("corrupt vector length");
+  std::vector<float> v(len);
+  STISAN_RETURN_IF_ERROR(ReadRaw(v.data(), len * sizeof(float)));
+  return v;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadInt64Vector() {
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxVectorLen) return Status::IoError("corrupt vector length");
+  std::vector<int64_t> v(len);
+  STISAN_RETURN_IF_ERROR(ReadRaw(v.data(), len * sizeof(int64_t)));
+  return v;
+}
+
+}  // namespace stisan

@@ -1,0 +1,66 @@
+// Binary serialization primitives for model checkpoints.
+//
+// Format: little-endian, length-prefixed. A checkpoint is a sequence of
+// records written through BinaryWriter and read back in the same order
+// through BinaryReader; Module::Save/Load (nn/module.h) build on these.
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stisan {
+
+/// Streaming binary writer. All writes report failure through status().
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteInt64Vector(const std::vector<int64_t>& v);
+
+  /// Flushes and returns the cumulative status.
+  Status Finish();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Streaming binary reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadFloatVector();
+  Result<std::vector<int64_t>> ReadInt64Vector();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  Status ReadRaw(void* data, size_t bytes);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace stisan

@@ -1,0 +1,138 @@
+// Status / Result error-handling primitives (RocksDB/Arrow idiom).
+//
+// Library entry points that can fail on user input return Status (or
+// Result<T>). Internal invariant violations use STISAN_CHECK (check.h) and
+// abort, as they indicate programming errors rather than recoverable
+// conditions.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stisan {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success/error value for fallible operations.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (the common OK case stores nothing).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status union for fallible functions that produce a value.
+///
+/// Usage:
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset& ds = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  /// The status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value. Requires ok().
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error status from an expression, RocksDB-style.
+#define STISAN_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::stisan::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define STISAN_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto STISAN_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!STISAN_CONCAT_(_res_, __LINE__).ok())         \
+    return STISAN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(STISAN_CONCAT_(_res_, __LINE__)).value()
+
+#define STISAN_CONCAT_IMPL_(a, b) a##b
+#define STISAN_CONCAT_(a, b) STISAN_CONCAT_IMPL_(a, b)
+
+}  // namespace stisan

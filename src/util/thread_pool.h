@@ -1,0 +1,54 @@
+// A minimal fixed-size thread pool with a ParallelFor convenience, used to
+// parallelise read-only evaluation across test instances.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stisan {
+
+/// Fixed worker pool. Tasks are void() closures; Wait() blocks until all
+/// submitted tasks finish. Not copyable.
+class ThreadPool {
+ public:
+  /// `threads` = 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(int64_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  int64_t num_threads() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool; blocks until done.
+/// fn must be safe to call concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace stisan

@@ -1,0 +1,28 @@
+# Drives the stisan_cli binary through its full workflow and fails on any
+# non-zero exit. Invoked by ctest (see tests/CMakeLists.txt).
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli ${ARGN} failed (${code}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_cli(generate --preset changchun --scale 0.1 --out ${WORKDIR}/city.csv)
+run_cli(train --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model.bin
+        --epochs 1 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8)
+run_cli(evaluate --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model.bin
+        --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8)
+run_cli(recommend --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model.bin
+        --user 1 --k 5 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8)
+
+# Mismatched architecture must fail cleanly.
+execute_process(COMMAND ${CLI} evaluate --data ${WORKDIR}/city.csv
+                --ckpt ${WORKDIR}/model.bin --min-user 5 --min-poi 2
+                --poi-dim 16 --geo-dim 16 RESULT_VARIABLE code
+                OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "evaluate with wrong dims unexpectedly succeeded")
+endif()

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "data/preprocess.h"
+#include "util/rng.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace stisan::eval {
+namespace {
+
+TEST(RankTest, TargetFirst) {
+  EXPECT_EQ(RankOfTarget({5.0f, 1.0f, 2.0f}, 0), 0);
+}
+
+TEST(RankTest, TargetLast) {
+  EXPECT_EQ(RankOfTarget({0.5f, 1.0f, 2.0f}, 0), 2);
+}
+
+TEST(RankTest, TiesArePessimistic) {
+  // Everything equal: target ranks behind all others.
+  EXPECT_EQ(RankOfTarget({1.0f, 1.0f, 1.0f}, 0), 2);
+}
+
+TEST(RankTest, TargetNotAtIndexZero) {
+  EXPECT_EQ(RankOfTarget({1.0f, 9.0f, 2.0f}, 1), 0);
+}
+
+TEST(MetricTest, HitRate) {
+  EXPECT_EQ(HitRateAtK(2, 5), 1.0);
+  EXPECT_EQ(HitRateAtK(5, 5), 0.0);
+  EXPECT_EQ(HitRateAtK(0, 1), 1.0);
+}
+
+TEST(MetricTest, NdcgValues) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(1, 5), 1.0 / std::log2(3.0));
+  EXPECT_DOUBLE_EQ(NdcgAtK(5, 5), 0.0);
+}
+
+TEST(MetricTest, NdcgNeverExceedsHr) {
+  for (int64_t rank = 0; rank < 12; ++rank) {
+    EXPECT_LE(NdcgAtK(rank, 10), HitRateAtK(rank, 10));
+  }
+}
+
+TEST(AccumulatorTest, MeansOverInstances) {
+  MetricAccumulator acc({5, 10});
+  acc.Add(0);   // hit both
+  acc.Add(7);   // hit @10 only
+  acc.Add(20);  // miss both
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_NEAR(acc.HitRate(5), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(acc.HitRate(10), 2.0 / 3.0, 1e-9);
+  auto means = acc.Means();
+  EXPECT_NEAR(means.at("HR@5"), 1.0 / 3.0, 1e-9);
+  EXPECT_GT(means.at("NDCG@10"), 0.0);
+  EXPECT_LT(means.at("NDCG@10"), means.at("HR@10"));
+}
+
+// ---- Candidate generation -----------------------------------------------------
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::GenerateSynthetic(data::GowallaLikeConfig(0.1));
+    split_ = data::TrainTestSplit(ds_, {.max_seq_len = 10});
+    gen_ = std::make_unique<CandidateGenerator>(ds_);
+  }
+  data::Dataset ds_;
+  data::Split split_;
+  std::unique_ptr<CandidateGenerator> gen_;
+};
+
+TEST_F(CandidateTest, TargetFirstAndExcluded) {
+  ASSERT_FALSE(split_.test.empty());
+  for (size_t k = 0; k < std::min<size_t>(10, split_.test.size()); ++k) {
+    const auto& inst = split_.test[k];
+    auto cands = gen_->Candidates(inst, 100);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(cands[0], inst.target);
+    std::unordered_set<int64_t> visited(inst.visited.begin(),
+                                        inst.visited.end());
+    for (size_t i = 1; i < cands.size(); ++i) {
+      EXPECT_NE(cands[i], inst.target);
+      EXPECT_FALSE(visited.contains(cands[i]))
+          << "candidate " << cands[i] << " was previously visited";
+    }
+  }
+}
+
+TEST_F(CandidateTest, NegativesAreNearTarget) {
+  const auto& inst = split_.test[0];
+  auto cands = gen_->Candidates(inst, 20);
+  const auto& target_loc = ds_.poi_location(inst.target);
+  // All negatives within the distance of the 300th nearest POI overall.
+  double max_neg = 0;
+  for (size_t i = 1; i < cands.size(); ++i) {
+    max_neg = std::max(
+        max_neg, geo::HaversineKm(target_loc, ds_.poi_location(cands[i])));
+  }
+  // Count how many POIs are closer than the farthest negative; should be
+  // roughly the number of candidates (plus visited exclusions).
+  int64_t closer = 0;
+  for (int64_t p = 1; p <= ds_.num_pois(); ++p) {
+    if (geo::HaversineKm(target_loc, ds_.poi_location(p)) < max_neg) ++closer;
+  }
+  EXPECT_LE(closer, 20 + static_cast<int64_t>(inst.visited.size()) + 1);
+}
+
+TEST_F(CandidateTest, EvaluatePerfectAndWorstScorers) {
+  // A scorer that always puts the target on top -> HR@5 = 1.
+  Scorer perfect = [](const data::EvalInstance&,
+                      const std::vector<int64_t>& cands) {
+    std::vector<float> s(cands.size(), 0.0f);
+    s[0] = 1.0f;
+    return s;
+  };
+  auto acc = Evaluate(perfect, split_.test, *gen_, {});
+  EXPECT_EQ(acc.HitRate(5), 1.0);
+  EXPECT_EQ(acc.Ndcg(10), 1.0);
+
+  // A constant scorer: pessimistic tie-breaking ranks the target last.
+  Scorer constant = [](const data::EvalInstance&,
+                       const std::vector<int64_t>& cands) {
+    return std::vector<float>(cands.size(), 0.5f);
+  };
+  auto worst = Evaluate(constant, split_.test, *gen_, {});
+  EXPECT_EQ(worst.HitRate(10), 0.0);
+}
+
+TEST_F(CandidateTest, RandomScorerNearChance) {
+  Rng rng(123);
+  Scorer random = [&rng](const data::EvalInstance&,
+                         const std::vector<int64_t>& cands) {
+    std::vector<float> s(cands.size());
+    for (auto& v : s) v = rng.UniformFloat(0, 1);
+    return s;
+  };
+  auto acc = Evaluate(random, split_.test, *gen_, {});
+  // With 101 candidates, HR@10 under chance is ~0.099.
+  EXPECT_NEAR(acc.HitRate(10), 0.099, 0.08);
+}
+
+}  // namespace
+}  // namespace stisan::eval

@@ -1,0 +1,165 @@
+// End-to-end integration tests: full pipeline from synthetic generation
+// through preprocessing, training, and the paper's evaluation protocol.
+// These assert *learning quality*, not just plumbing: trained models must
+// clear chance and weak baselines on data with planted structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stisan.h"
+#include "data/csv_loader.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/geosan.h"
+#include "models/shallow.h"
+
+namespace stisan {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto cfg = data::GowallaLikeConfig(0.25);
+    dataset_ = new data::Dataset(data::GenerateSynthetic(cfg));
+    split_ = new data::Split(
+        data::TrainTestSplit(*dataset_, {.max_seq_len = 32}));
+    candidates_ = new eval::CandidateGenerator(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete candidates_;
+    delete split_;
+    delete dataset_;
+    candidates_ = nullptr;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static eval::MetricAccumulator Run(models::SequentialRecommender& model) {
+    model.Fit(*dataset_, split_->train);
+    return eval::Evaluate(
+        [&model](const data::EvalInstance& inst,
+                 const std::vector<int64_t>& cands) {
+          return model.Score(inst, cands);
+        },
+        split_->test, *candidates_, {});
+  }
+
+  static core::StisanOptions TunedOptions() {
+    core::StisanOptions opts;
+    opts.poi_dim = 16;
+    opts.geo.dim = 16;
+    opts.geo.fourier_dim = 8;
+    opts.num_blocks = 2;
+    opts.train.epochs = 10;
+    opts.train.num_negatives = 15;
+    opts.train.knn_neighborhood = 100;
+    return opts;
+  }
+
+  static data::Dataset* dataset_;
+  static data::Split* split_;
+  static eval::CandidateGenerator* candidates_;
+};
+
+data::Dataset* IntegrationTest::dataset_ = nullptr;
+data::Split* IntegrationTest::split_ = nullptr;
+eval::CandidateGenerator* IntegrationTest::candidates_ = nullptr;
+
+TEST_F(IntegrationTest, StisanBeatsChanceAndPop) {
+  models::PopModel pop;
+  auto pop_metrics = Run(pop);
+
+  core::StisanModel stisan(*dataset_, TunedOptions());
+  auto st_metrics = Run(stisan);
+
+  // Chance HR@10 with 101 candidates is ~0.099: the trained model must
+  // clear it decisively.
+  EXPECT_GT(st_metrics.HitRate(10), 0.18);
+  // And it must at least match popularity-only recommendation (exact
+  // margins over POP vary with the dataset seed at this scale; the
+  // bench suite measures them properly over the full presets).
+  EXPECT_GT(st_metrics.HitRate(10), pop_metrics.HitRate(10) - 0.03);
+}
+
+TEST_F(IntegrationTest, TrainingReducesLoss) {
+  auto opts = TunedOptions();
+  opts.train.epochs = 1;
+  core::StisanModel one_epoch(*dataset_, opts);
+  one_epoch.Fit(*dataset_, split_->train);
+  const float loss_after_1 = one_epoch.last_epoch_loss();
+
+  opts.train.epochs = 6;
+  core::StisanModel six_epochs(*dataset_, opts);
+  six_epochs.Fit(*dataset_, split_->train);
+  EXPECT_LT(six_epochs.last_epoch_loss(), loss_after_1);
+}
+
+TEST_F(IntegrationTest, GeographyPriorAndTraining) {
+  core::StisanOptions opts = TunedOptions();
+  // Even *untrained*, the geography pathway (fixed Fourier kernel flowing
+  // through the identity-initialised encoder into TAAD matching) must beat
+  // chance (~0.099 HR@10 with 101 candidates) by a wide margin.
+  models::GeoSanModel untrained(*dataset_, opts);
+  auto untrained_metrics = eval::Evaluate(
+      [&untrained](const data::EvalInstance& inst,
+                   const std::vector<int64_t>& cands) {
+        return untrained.Score(inst, cands);
+      },
+      split_->test, *candidates_, {});
+  EXPECT_GT(untrained_metrics.HitRate(10), 0.18);
+
+  // Training must not destroy the prior.
+  models::GeoSanModel trained(*dataset_, opts);
+  auto trained_metrics = Run(trained);
+  EXPECT_GT(trained_metrics.HitRate(10),
+            untrained_metrics.HitRate(10) - 0.05);
+}
+
+TEST_F(IntegrationTest, CsvRoundTripPreservesMetrics) {
+  // Exporting and re-importing the dataset must not change the evaluation
+  // outcome for a deterministic (popularity) model.
+  const std::string path = "/tmp/stisan_integration.csv";
+  ASSERT_TRUE(data::SaveCsv(*dataset_, path).ok());
+  auto reloaded = data::LoadCsv(path, "reloaded");
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  auto split2 = data::TrainTestSplit(*reloaded, {.max_seq_len = 32});
+  eval::CandidateGenerator cands2(*reloaded);
+  models::PopModel pop1, pop2;
+  pop1.Fit(*dataset_, split_->train);
+  pop2.Fit(*reloaded, split2.train);
+  auto m1 = eval::Evaluate(
+      [&](const data::EvalInstance& i, const std::vector<int64_t>& c) {
+        return pop1.Score(i, c);
+      },
+      split_->test, *candidates_, {});
+  auto m2 = eval::Evaluate(
+      [&](const data::EvalInstance& i, const std::vector<int64_t>& c) {
+        return pop2.Score(i, c);
+      },
+      split2.test, cands2, {});
+  // POI ids are renumbered and coordinates round to 6 decimals (~0.1 m),
+  // which can flip distance ties in the candidate ring for a handful of
+  // instances — allow a small tolerance.
+  EXPECT_NEAR(m1.HitRate(10), m2.HitRate(10), 0.03);
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossRuns) {
+  auto opts = TunedOptions();
+  opts.train.epochs = 2;
+  opts.train.max_train_windows = 30;
+  core::StisanModel a(*dataset_, opts);
+  core::StisanModel b(*dataset_, opts);
+  a.Fit(*dataset_, split_->train);
+  b.Fit(*dataset_, split_->train);
+  EXPECT_EQ(a.last_epoch_loss(), b.last_epoch_loss());
+  const auto& inst = split_->test.front();
+  auto cands = candidates_->Candidates(inst, 50);
+  EXPECT_EQ(a.Score(inst, cands), b.Score(inst, cands));
+}
+
+}  // namespace
+}  // namespace stisan

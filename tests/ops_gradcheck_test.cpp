@@ -1,0 +1,238 @@
+// Numerical gradient verification for every differentiable op.
+//
+// Each test builds a scalar loss from randomly-initialised inputs and checks
+// the analytic gradients against central finite differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace stisan {
+namespace {
+
+Tensor RandomInput(Shape shape, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, scale, /*requires_grad=*/true);
+}
+
+#define EXPECT_GRADCHECK_OK(fn, ...)                         \
+  do {                                                       \
+    Status st = CheckGradients(fn, {__VA_ARGS__});           \
+    EXPECT_TRUE(st.ok()) << st.ToString();                   \
+  } while (0)
+
+TEST(GradCheck, Add) {
+  Tensor a = RandomInput({2, 3}, 1);
+  Tensor b = RandomInput({2, 3}, 2);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum((a + b) * (a + b)); }, a, b);
+}
+
+TEST(GradCheck, SubBroadcast) {
+  Tensor a = RandomInput({2, 3}, 3);
+  Tensor b = RandomInput({3}, 4);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(a - b)); }, a, b);
+}
+
+TEST(GradCheck, MulBroadcastColumn) {
+  Tensor a = RandomInput({2, 3}, 5);
+  Tensor b = RandomInput({2, 1}, 6);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(a * b); }, a, b);
+}
+
+TEST(GradCheck, Div) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({2, 2}, rng, 1.0f, true);
+  Tensor b = Tensor::Rand({2, 2}, rng, 1.0f, 2.0f, true);  // away from 0
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(a / b); }, a, b);
+}
+
+TEST(GradCheck, MatMul2D) {
+  Tensor a = RandomInput({3, 4}, 8);
+  Tensor b = RandomInput({4, 2}, 9);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(ops::MatMul(a, b))); },
+                      a, b);
+}
+
+TEST(GradCheck, MatMulBatched) {
+  Tensor a = RandomInput({2, 3, 2}, 10);
+  Tensor b = RandomInput({2, 2, 3}, 11);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(ops::MatMul(a, b))); },
+                      a, b);
+}
+
+TEST(GradCheck, MatMul3Dx2D) {
+  Tensor a = RandomInput({2, 3, 4}, 12);
+  Tensor b = RandomInput({4, 2}, 13);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(ops::MatMul(a, b))); },
+                      a, b);
+}
+
+TEST(GradCheck, TransposeLast2) {
+  Tensor a = RandomInput({2, 3, 4}, 14);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor t = ops::TransposeLast2(a);
+        return ops::Sum(ops::Square(ops::MatMul(a, t)));
+      },
+      a);
+}
+
+TEST(GradCheck, UnaryActivations) {
+  Tensor a = RandomInput({2, 4}, 15);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Sigmoid(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Tanh(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Softplus(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::LogSigmoid(a)); }, a);
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Shift inputs away from 0 where relu is non-differentiable.
+  Rng rng(16);
+  Tensor a = Tensor::Rand({8}, rng, 0.5f, 1.5f, true);
+  Tensor b = Tensor::Rand({8}, rng, -1.5f, -0.5f, true);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Relu(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Relu(b)); }, b);
+}
+
+TEST(GradCheck, ExpLogSqrt) {
+  Rng rng(17);
+  Tensor a = Tensor::Rand({6}, rng, 0.5f, 2.0f, true);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Exp(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Log(a)); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Sqrt(a)); }, a);
+}
+
+TEST(GradCheck, SinCos) {
+  Tensor a = RandomInput({5}, 18);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(ops::Sin(a))); }, a);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Square(ops::Cos(a))); }, a);
+}
+
+TEST(GradCheck, Softmax) {
+  Tensor a = RandomInput({3, 4}, 19);
+  Tensor w = RandomInput({3, 4}, 20).Detach();
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Softmax(a) * w); }, a);
+}
+
+TEST(GradCheck, LogSoftmax) {
+  Tensor a = RandomInput({2, 5}, 21);
+  Tensor w = RandomInput({2, 5}, 22).Detach();
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::LogSoftmax(a) * w); }, a);
+}
+
+TEST(GradCheck, LayerNormAllInputs) {
+  Tensor x = RandomInput({3, 4}, 23);
+  Rng rng(24);
+  Tensor gamma = Tensor::Rand({4}, rng, 0.5f, 1.5f, true);
+  Tensor beta = Tensor::Randn({4}, rng, 0.5f, true);
+  Tensor w = RandomInput({3, 4}, 25).Detach();
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::LayerNorm(x, gamma, beta) * w); }, x, gamma,
+      beta);
+}
+
+TEST(GradCheck, EmbeddingLookup) {
+  Tensor w = RandomInput({5, 3}, 26);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor e = ops::EmbeddingLookup(w, {0, 2, 2, 4});
+        return ops::Sum(ops::Square(e));
+      },
+      w);
+}
+
+TEST(GradCheck, ReshapeSliceConcat) {
+  Tensor a = RandomInput({2, 6}, 27);
+  Tensor b = RandomInput({2, 2}, 28);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor r = ops::Reshape(a, {4, 3});
+        Tensor s = ops::Slice(r, 0, 1, 3);   // [2,3]
+        Tensor c = ops::Concat(s, b, 1);     // [2,5]
+        return ops::Sum(ops::Square(c));
+      },
+      a, b);
+}
+
+TEST(GradCheck, Stack0) {
+  Tensor a = RandomInput({3}, 29);
+  Tensor b = RandomInput({3}, 30);
+  Tensor c = RandomInput({3}, 31);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::Stack0({a, b, c}))); }, a, b, c);
+}
+
+TEST(GradCheck, Unfold1D) {
+  Tensor a = RandomInput({5, 2}, 32);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::Unfold1D(a, 3))); }, a);
+}
+
+TEST(GradCheck, AbsClampPow) {
+  Rng rng(40);
+  Tensor a = Tensor::Rand({6}, rng, 0.5f, 2.0f, true);   // positive for Pow
+  Tensor b = Tensor::Rand({6}, rng, -2.0f, 2.0f, true);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::PowScalar(a, 1.7f)); }, a);
+  // Abs away from the kink at 0.
+  Rng rng2(41);
+  Tensor c = Tensor::Rand({6}, rng2, 0.5f, 1.5f, true);
+  EXPECT_GRADCHECK_OK([&] { return ops::Sum(ops::Abs(c)); }, c);
+  // Clamp strictly inside / strictly outside the window.
+  Tensor inside = Tensor::Rand({5}, rng2, -0.5f, 0.5f, true);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::Clamp(inside, -1.0f, 1.0f))); },
+      inside);
+  (void)b;
+}
+
+TEST(GradCheck, MinAndMeanDim) {
+  Tensor a = RandomInput({3, 4}, 42);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::MinDim(a, 1))); }, a);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::MeanDim(a, 0, true))); }, a);
+}
+
+TEST(GradCheck, SumDimAndMaxDim) {
+  Tensor a = RandomInput({3, 4}, 33);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::SumDim(a, 0))); }, a);
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::SumDim(a, 1, true))); }, a);
+  // MaxDim: random gaussian entries are distinct w.p. 1, so argmax is stable
+  // under the small FD perturbation.
+  EXPECT_GRADCHECK_OK(
+      [&] { return ops::Sum(ops::Square(ops::MaxDim(a, 1))); }, a);
+}
+
+TEST(GradCheck, AttentionShapedComposite) {
+  // A miniature causal attention: checks the composed graph end-to-end.
+  const int64_t n = 3, d = 4;
+  Tensor x = RandomInput({n, d}, 34, 0.5f);
+  Tensor wq = RandomInput({d, d}, 35, 0.5f);
+  Tensor wk = RandomInput({d, d}, 36, 0.5f);
+  Tensor wv = RandomInput({d, d}, 37, 0.5f);
+  // Causal mask as additive constant.
+  std::vector<float> mask(n * n, 0.0f);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = i + 1; j < n; ++j) mask[i * n + j] = -1e9f;
+  Tensor m = Tensor::FromVector({n, n}, mask);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor q = ops::MatMul(x, wq);
+        Tensor k = ops::MatMul(x, wk);
+        Tensor v = ops::MatMul(x, wv);
+        Tensor logits =
+            ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
+                           1.0f / std::sqrt(float(d)));
+        Tensor att = ops::Softmax(logits + m);
+        return ops::Sum(ops::Square(ops::MatMul(att, v)));
+      },
+      x, wq, wk, wv);
+}
+
+}  // namespace
+}  // namespace stisan
