@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tape_extensibility.dir/bench_fig4_tape_extensibility.cpp.o"
+  "CMakeFiles/bench_fig4_tape_extensibility.dir/bench_fig4_tape_extensibility.cpp.o.d"
+  "bench_fig4_tape_extensibility"
+  "bench_fig4_tape_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tape_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

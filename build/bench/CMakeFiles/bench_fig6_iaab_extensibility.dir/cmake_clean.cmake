@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_iaab_extensibility.dir/bench_fig6_iaab_extensibility.cpp.o"
+  "CMakeFiles/bench_fig6_iaab_extensibility.dir/bench_fig6_iaab_extensibility.cpp.o.d"
+  "bench_fig6_iaab_extensibility"
+  "bench_fig6_iaab_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_iaab_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_iaab_heatmap.dir/bench_fig7_iaab_heatmap.cpp.o"
+  "CMakeFiles/bench_fig7_iaab_heatmap.dir/bench_fig7_iaab_heatmap.cpp.o.d"
+  "bench_fig7_iaab_heatmap"
+  "bench_fig7_iaab_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_iaab_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hyperparams.dir/bench_fig9_hyperparams.cpp.o"
+  "CMakeFiles/bench_fig9_hyperparams.dir/bench_fig9_hyperparams.cpp.o.d"
+  "bench_fig9_hyperparams"
+  "bench_fig9_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

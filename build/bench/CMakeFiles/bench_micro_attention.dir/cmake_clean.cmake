@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_attention.dir/bench_micro_attention.cpp.o"
+  "CMakeFiles/bench_micro_attention.dir/bench_micro_attention.cpp.o.d"
+  "bench_micro_attention"
+  "bench_micro_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

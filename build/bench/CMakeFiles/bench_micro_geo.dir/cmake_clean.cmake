@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_geo.dir/bench_micro_geo.cpp.o"
+  "CMakeFiles/bench_micro_geo.dir/bench_micro_geo.cpp.o.d"
+  "bench_micro_geo"
+  "bench_micro_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_tensor.cpp" "bench/CMakeFiles/bench_micro_tensor.dir/bench_micro_tensor.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_tensor.dir/bench_micro_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/stisan_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stisan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/stisan_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/stisan_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stisan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stisan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_flops.dir/bench_table6_flops.cpp.o"
+  "CMakeFiles/bench_table6_flops.dir/bench_table6_flops.cpp.o.d"
+  "bench_table6_flops"
+  "bench_table6_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

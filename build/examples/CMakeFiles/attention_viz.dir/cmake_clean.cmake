@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_viz.dir/attention_viz.cpp.o"
+  "CMakeFiles/attention_viz.dir/attention_viz.cpp.o.d"
+  "attention_viz"
+  "attention_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

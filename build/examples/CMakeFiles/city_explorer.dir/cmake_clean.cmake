@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_explorer.dir/city_explorer.cpp.o"
+  "CMakeFiles/city_explorer.dir/city_explorer.cpp.o.d"
+  "city_explorer"
+  "city_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_workflow.dir/csv_workflow.cpp.o"
+  "CMakeFiles/csv_workflow.dir/csv_workflow.cpp.o.d"
+  "csv_workflow"
+  "csv_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

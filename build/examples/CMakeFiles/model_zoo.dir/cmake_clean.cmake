@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo.dir/model_zoo.cpp.o"
+  "CMakeFiles/model_zoo.dir/model_zoo.cpp.o.d"
+  "model_zoo"
+  "model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

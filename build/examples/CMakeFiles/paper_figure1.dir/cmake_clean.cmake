@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figure1.dir/paper_figure1.cpp.o"
+  "CMakeFiles/paper_figure1.dir/paper_figure1.cpp.o.d"
+  "paper_figure1"
+  "paper_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

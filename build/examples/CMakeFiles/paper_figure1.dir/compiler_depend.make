@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for paper_figure1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/stisan_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/geo_encoder.cc" "src/core/CMakeFiles/stisan_core.dir/geo_encoder.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/geo_encoder.cc.o.d"
+  "/root/repo/src/core/iaab.cc" "src/core/CMakeFiles/stisan_core.dir/iaab.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/iaab.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/core/CMakeFiles/stisan_core.dir/relation.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/relation.cc.o.d"
+  "/root/repo/src/core/stisan.cc" "src/core/CMakeFiles/stisan_core.dir/stisan.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/stisan.cc.o.d"
+  "/root/repo/src/core/taad.cc" "src/core/CMakeFiles/stisan_core.dir/taad.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/taad.cc.o.d"
+  "/root/repo/src/core/tape.cc" "src/core/CMakeFiles/stisan_core.dir/tape.cc.o" "gcc" "src/core/CMakeFiles/stisan_core.dir/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/stisan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/stisan_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stisan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_core.dir/explain.cc.o"
+  "CMakeFiles/stisan_core.dir/explain.cc.o.d"
+  "CMakeFiles/stisan_core.dir/geo_encoder.cc.o"
+  "CMakeFiles/stisan_core.dir/geo_encoder.cc.o.d"
+  "CMakeFiles/stisan_core.dir/iaab.cc.o"
+  "CMakeFiles/stisan_core.dir/iaab.cc.o.d"
+  "CMakeFiles/stisan_core.dir/relation.cc.o"
+  "CMakeFiles/stisan_core.dir/relation.cc.o.d"
+  "CMakeFiles/stisan_core.dir/stisan.cc.o"
+  "CMakeFiles/stisan_core.dir/stisan.cc.o.d"
+  "CMakeFiles/stisan_core.dir/taad.cc.o"
+  "CMakeFiles/stisan_core.dir/taad.cc.o.d"
+  "CMakeFiles/stisan_core.dir/tape.cc.o"
+  "CMakeFiles/stisan_core.dir/tape.cc.o.d"
+  "libstisan_core.a"
+  "libstisan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/stisan_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/stisan_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/stisan_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/stisan_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/stisan_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/stisan_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/stisan_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/stisan_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/types.cc" "src/data/CMakeFiles/stisan_data.dir/types.cc.o" "gcc" "src/data/CMakeFiles/stisan_data.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

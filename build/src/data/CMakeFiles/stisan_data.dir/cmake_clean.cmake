@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_data.dir/csv_loader.cc.o"
+  "CMakeFiles/stisan_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/stisan_data.dir/preprocess.cc.o"
+  "CMakeFiles/stisan_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/stisan_data.dir/stats.cc.o"
+  "CMakeFiles/stisan_data.dir/stats.cc.o.d"
+  "CMakeFiles/stisan_data.dir/synthetic.cc.o"
+  "CMakeFiles/stisan_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/stisan_data.dir/types.cc.o"
+  "CMakeFiles/stisan_data.dir/types.cc.o.d"
+  "libstisan_data.a"
+  "libstisan_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstisan_data.a"
+)

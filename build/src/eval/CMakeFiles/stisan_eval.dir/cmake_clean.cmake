@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_eval.dir/evaluator.cc.o"
+  "CMakeFiles/stisan_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/stisan_eval.dir/full_ranking.cc.o"
+  "CMakeFiles/stisan_eval.dir/full_ranking.cc.o.d"
+  "CMakeFiles/stisan_eval.dir/metrics.cc.o"
+  "CMakeFiles/stisan_eval.dir/metrics.cc.o.d"
+  "libstisan_eval.a"
+  "libstisan_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

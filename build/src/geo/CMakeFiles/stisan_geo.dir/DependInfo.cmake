@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo.cc" "src/geo/CMakeFiles/stisan_geo.dir/geo.cc.o" "gcc" "src/geo/CMakeFiles/stisan_geo.dir/geo.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/geo/CMakeFiles/stisan_geo.dir/geohash.cc.o" "gcc" "src/geo/CMakeFiles/stisan_geo.dir/geohash.cc.o.d"
+  "/root/repo/src/geo/quadkey.cc" "src/geo/CMakeFiles/stisan_geo.dir/quadkey.cc.o" "gcc" "src/geo/CMakeFiles/stisan_geo.dir/quadkey.cc.o.d"
+  "/root/repo/src/geo/spatial_index.cc" "src/geo/CMakeFiles/stisan_geo.dir/spatial_index.cc.o" "gcc" "src/geo/CMakeFiles/stisan_geo.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

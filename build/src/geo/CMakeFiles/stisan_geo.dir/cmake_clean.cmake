@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_geo.dir/geo.cc.o"
+  "CMakeFiles/stisan_geo.dir/geo.cc.o.d"
+  "CMakeFiles/stisan_geo.dir/geohash.cc.o"
+  "CMakeFiles/stisan_geo.dir/geohash.cc.o.d"
+  "CMakeFiles/stisan_geo.dir/quadkey.cc.o"
+  "CMakeFiles/stisan_geo.dir/quadkey.cc.o.d"
+  "CMakeFiles/stisan_geo.dir/spatial_index.cc.o"
+  "CMakeFiles/stisan_geo.dir/spatial_index.cc.o.d"
+  "libstisan_geo.a"
+  "libstisan_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/caser.cc" "src/models/CMakeFiles/stisan_models.dir/caser.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/caser.cc.o.d"
+  "/root/repo/src/models/ensemble.cc" "src/models/CMakeFiles/stisan_models.dir/ensemble.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/ensemble.cc.o.d"
+  "/root/repo/src/models/geosan.cc" "src/models/CMakeFiles/stisan_models.dir/geosan.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/geosan.cc.o.d"
+  "/root/repo/src/models/gru4rec.cc" "src/models/CMakeFiles/stisan_models.dir/gru4rec.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/gru4rec.cc.o.d"
+  "/root/repo/src/models/neural_base.cc" "src/models/CMakeFiles/stisan_models.dir/neural_base.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/neural_base.cc.o.d"
+  "/root/repo/src/models/san_models.cc" "src/models/CMakeFiles/stisan_models.dir/san_models.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/san_models.cc.o.d"
+  "/root/repo/src/models/shallow.cc" "src/models/CMakeFiles/stisan_models.dir/shallow.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/shallow.cc.o.d"
+  "/root/repo/src/models/stan.cc" "src/models/CMakeFiles/stisan_models.dir/stan.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/stan.cc.o.d"
+  "/root/repo/src/models/stgn.cc" "src/models/CMakeFiles/stisan_models.dir/stgn.cc.o" "gcc" "src/models/CMakeFiles/stisan_models.dir/stgn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stisan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stisan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/stisan_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stisan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_models.dir/caser.cc.o"
+  "CMakeFiles/stisan_models.dir/caser.cc.o.d"
+  "CMakeFiles/stisan_models.dir/ensemble.cc.o"
+  "CMakeFiles/stisan_models.dir/ensemble.cc.o.d"
+  "CMakeFiles/stisan_models.dir/geosan.cc.o"
+  "CMakeFiles/stisan_models.dir/geosan.cc.o.d"
+  "CMakeFiles/stisan_models.dir/gru4rec.cc.o"
+  "CMakeFiles/stisan_models.dir/gru4rec.cc.o.d"
+  "CMakeFiles/stisan_models.dir/neural_base.cc.o"
+  "CMakeFiles/stisan_models.dir/neural_base.cc.o.d"
+  "CMakeFiles/stisan_models.dir/san_models.cc.o"
+  "CMakeFiles/stisan_models.dir/san_models.cc.o.d"
+  "CMakeFiles/stisan_models.dir/shallow.cc.o"
+  "CMakeFiles/stisan_models.dir/shallow.cc.o.d"
+  "CMakeFiles/stisan_models.dir/stan.cc.o"
+  "CMakeFiles/stisan_models.dir/stan.cc.o.d"
+  "CMakeFiles/stisan_models.dir/stgn.cc.o"
+  "CMakeFiles/stisan_models.dir/stgn.cc.o.d"
+  "libstisan_models.a"
+  "libstisan_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/stisan_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/stisan_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/flops.cc" "src/nn/CMakeFiles/stisan_nn.dir/flops.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/flops.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/stisan_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/stisan_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/recurrent.cc" "src/nn/CMakeFiles/stisan_nn.dir/recurrent.cc.o" "gcc" "src/nn/CMakeFiles/stisan_nn.dir/recurrent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

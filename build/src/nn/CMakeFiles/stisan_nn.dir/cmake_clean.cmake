@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_nn.dir/attention.cc.o"
+  "CMakeFiles/stisan_nn.dir/attention.cc.o.d"
+  "CMakeFiles/stisan_nn.dir/conv.cc.o"
+  "CMakeFiles/stisan_nn.dir/conv.cc.o.d"
+  "CMakeFiles/stisan_nn.dir/flops.cc.o"
+  "CMakeFiles/stisan_nn.dir/flops.cc.o.d"
+  "CMakeFiles/stisan_nn.dir/layers.cc.o"
+  "CMakeFiles/stisan_nn.dir/layers.cc.o.d"
+  "CMakeFiles/stisan_nn.dir/module.cc.o"
+  "CMakeFiles/stisan_nn.dir/module.cc.o.d"
+  "CMakeFiles/stisan_nn.dir/recurrent.cc.o"
+  "CMakeFiles/stisan_nn.dir/recurrent.cc.o.d"
+  "libstisan_nn.a"
+  "libstisan_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

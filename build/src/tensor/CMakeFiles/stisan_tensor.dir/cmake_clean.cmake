@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/stisan_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/stisan_tensor.dir/ops.cc.o"
+  "CMakeFiles/stisan_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/stisan_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/stisan_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/stisan_tensor.dir/tensor.cc.o"
+  "CMakeFiles/stisan_tensor.dir/tensor.cc.o.d"
+  "libstisan_tensor.a"
+  "libstisan_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

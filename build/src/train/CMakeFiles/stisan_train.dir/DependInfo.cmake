@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/early_stopping.cc" "src/train/CMakeFiles/stisan_train.dir/early_stopping.cc.o" "gcc" "src/train/CMakeFiles/stisan_train.dir/early_stopping.cc.o.d"
+  "/root/repo/src/train/loss.cc" "src/train/CMakeFiles/stisan_train.dir/loss.cc.o" "gcc" "src/train/CMakeFiles/stisan_train.dir/loss.cc.o.d"
+  "/root/repo/src/train/lr_schedule.cc" "src/train/CMakeFiles/stisan_train.dir/lr_schedule.cc.o" "gcc" "src/train/CMakeFiles/stisan_train.dir/lr_schedule.cc.o.d"
+  "/root/repo/src/train/negative_sampler.cc" "src/train/CMakeFiles/stisan_train.dir/negative_sampler.cc.o" "gcc" "src/train/CMakeFiles/stisan_train.dir/negative_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stisan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

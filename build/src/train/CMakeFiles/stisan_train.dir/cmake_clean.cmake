@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_train.dir/early_stopping.cc.o"
+  "CMakeFiles/stisan_train.dir/early_stopping.cc.o.d"
+  "CMakeFiles/stisan_train.dir/loss.cc.o"
+  "CMakeFiles/stisan_train.dir/loss.cc.o.d"
+  "CMakeFiles/stisan_train.dir/lr_schedule.cc.o"
+  "CMakeFiles/stisan_train.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/stisan_train.dir/negative_sampler.cc.o"
+  "CMakeFiles/stisan_train.dir/negative_sampler.cc.o.d"
+  "libstisan_train.a"
+  "libstisan_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

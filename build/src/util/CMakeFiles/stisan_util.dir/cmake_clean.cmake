@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_util.dir/logging.cc.o"
+  "CMakeFiles/stisan_util.dir/logging.cc.o.d"
+  "CMakeFiles/stisan_util.dir/rng.cc.o"
+  "CMakeFiles/stisan_util.dir/rng.cc.o.d"
+  "CMakeFiles/stisan_util.dir/serialize.cc.o"
+  "CMakeFiles/stisan_util.dir/serialize.cc.o.d"
+  "CMakeFiles/stisan_util.dir/status.cc.o"
+  "CMakeFiles/stisan_util.dir/status.cc.o.d"
+  "CMakeFiles/stisan_util.dir/string_util.cc.o"
+  "CMakeFiles/stisan_util.dir/string_util.cc.o.d"
+  "CMakeFiles/stisan_util.dir/thread_pool.cc.o"
+  "CMakeFiles/stisan_util.dir/thread_pool.cc.o.d"
+  "libstisan_util.a"
+  "libstisan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/infra_test.cpp" "tests/CMakeFiles/infra_test.dir/infra_test.cpp.o" "gcc" "tests/CMakeFiles/infra_test.dir/infra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/stisan_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/stisan_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stisan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stisan_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stisan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/stisan_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stisan_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

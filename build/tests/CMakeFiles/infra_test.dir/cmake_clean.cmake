@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_test.dir/infra_test.cpp.o"
+  "CMakeFiles/infra_test.dir/infra_test.cpp.o.d"
+  "infra_test"
+  "infra_test.pdb"
+  "infra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

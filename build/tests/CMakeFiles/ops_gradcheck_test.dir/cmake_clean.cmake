@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_gradcheck_test.dir/ops_gradcheck_test.cpp.o"
+  "CMakeFiles/ops_gradcheck_test.dir/ops_gradcheck_test.cpp.o.d"
+  "ops_gradcheck_test"
+  "ops_gradcheck_test.pdb"
+  "ops_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

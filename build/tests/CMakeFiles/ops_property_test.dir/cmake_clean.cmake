@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_property_test.dir/ops_property_test.cpp.o"
+  "CMakeFiles/ops_property_test.dir/ops_property_test.cpp.o.d"
+  "ops_property_test"
+  "ops_property_test.pdb"
+  "ops_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

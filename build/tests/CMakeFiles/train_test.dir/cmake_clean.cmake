@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_test.dir/train_test.cpp.o"
+  "CMakeFiles/train_test.dir/train_test.cpp.o.d"
+  "train_test"
+  "train_test.pdb"
+  "train_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

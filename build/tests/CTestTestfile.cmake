@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_gradcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_property_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/train_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/infra_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+add_test(cli_workflow "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/stisan_cli" "-DWORKDIR=/root/repo/build/cli_test" "-P" "/root/repo/tests/cli_workflow_test.cmake")
+set_tests_properties(cli_workflow PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dataset_report_smoke "/root/repo/build/tools/dataset_report" "--preset" "changchun" "--scale" "0.08")
+set_tests_properties(dataset_report_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "popularity gini" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compare_models_smoke "/root/repo/build/tools/compare_models" "--a" "pop" "--b" "bpr" "--scale" "0.08" "--epochs" "1")
+set_tests_properties(compare_models_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "paired bootstrap" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

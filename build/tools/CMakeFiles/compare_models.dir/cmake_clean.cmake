@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_models.dir/compare_models.cc.o"
+  "CMakeFiles/compare_models.dir/compare_models.cc.o.d"
+  "compare_models"
+  "compare_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_report.dir/dataset_report.cc.o"
+  "CMakeFiles/dataset_report.dir/dataset_report.cc.o.d"
+  "dataset_report"
+  "dataset_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stisan_cli.dir/stisan_cli.cc.o"
+  "CMakeFiles/stisan_cli.dir/stisan_cli.cc.o.d"
+  "stisan_cli"
+  "stisan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stisan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
