@@ -1,11 +1,21 @@
 // Microbenchmarks for the attention stack: vanilla SA block vs IAAB,
 // forward and forward+backward (google-benchmark). The FLOPs claim of
 // Table VI in wall-clock form at op granularity.
+//
+// Emit machine-readable results with:
+//   ./bench_micro_attention --benchmark_format=json
+//
+// The *_Threads benchmarks take (n, threads) pairs at the paper's STiSAN
+// shape (sequence n=100, attention dim d=32); threads=0 means "hardware
+// concurrency". Each run re-sizes the global kernel pool and reports the
+// effective worker count in the "threads" counter, so serial vs threaded
+// forwards can be compared from one binary.
 
 #include <benchmark/benchmark.h>
 
 #include "core/iaab.h"
 #include "core/relation.h"
+#include "tensor/kernels.h"
 
 namespace stisan::core {
 namespace {
@@ -56,6 +66,42 @@ void BM_IaabBlockTrainStep(benchmark::State& state) {
   RunBlock(state, AttentionMode::kIntervalAware, true);
 }
 BENCHMARK(BM_IaabBlockTrainStep)->Arg(32)->Arg(64);
+
+// STiSAN trunk (2-block interval-aware encoder, d=32) at the paper's
+// sequence length n=100, serial vs threaded.
+void RunEncoderThreads(benchmark::State& state, bool backward) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  kernels::SetNumThreads(state.range(1));
+  Rng rng(9);
+  IaabEncoder encoder(Options(AttentionMode::kIntervalAware, d), 2, rng);
+  encoder.SetTraining(false);
+  Tensor rel = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+  Tensor mask = BuildPaddedCausalMask(n, 0);
+  for (auto _ : state) {
+    Tensor x = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor out = encoder.Forward(x, rel, mask, rng);
+    if (backward) {
+      ops::Sum(ops::Square(out)).Backward();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["threads"] = static_cast<double>(kernels::NumThreads());
+  kernels::SetNumThreads(0);
+}
+
+void BM_StisanEncoderForwardThreads(benchmark::State& state) {
+  RunEncoderThreads(state, false);
+}
+BENCHMARK(BM_StisanEncoderForwardThreads)
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 0});
+
+void BM_StisanEncoderTrainStepThreads(benchmark::State& state) {
+  RunEncoderThreads(state, true);
+}
+BENCHMARK(BM_StisanEncoderTrainStepThreads)->Args({100, 1})->Args({100, 0});
 
 void BM_RelationMatrixBuild(benchmark::State& state) {
   const int64_t n = state.range(0);

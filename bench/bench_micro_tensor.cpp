@@ -1,7 +1,16 @@
 // Microbenchmarks for the tensor/autograd substrate (google-benchmark).
+//
+// Emit machine-readable results with:
+//   ./bench_micro_tensor --benchmark_format=json
+//
+// The *_Threads benchmarks take (size, threads) pairs; threads=0 means
+// "hardware concurrency". Each run re-sizes the global kernel pool and
+// reports the effective worker count in the "threads" counter, so serial vs
+// threaded numbers can be compared from one binary.
 
 #include <benchmark/benchmark.h>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -77,6 +86,95 @@ void BM_BroadcastAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BroadcastAdd);
+
+// ---- View vs copy shape ops -------------------------------------------------
+// Reshape/Slice/TransposeLast2 are zero-copy views; pairing each with its
+// materialised (Contiguous) counterpart shows what the refactor saves.
+
+void BM_TransposeView(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::TransposeLast2(a).storage_data());
+  }
+}
+BENCHMARK(BM_TransposeView)->Arg(64)->Arg(256);
+
+void BM_TransposeMaterialize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::TransposeLast2(a).Contiguous().data());
+  }
+}
+BENCHMARK(BM_TransposeMaterialize)->Arg(64)->Arg(256);
+
+void BM_SliceView(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Slice(a, 0, n / 4, 3 * n / 4).storage_data());
+  }
+}
+BENCHMARK(BM_SliceView)->Arg(64)->Arg(256);
+
+void BM_SliceInnerMaterialize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::Slice(a, 1, n / 4, 3 * n / 4).Contiguous().data());
+  }
+}
+BENCHMARK(BM_SliceInnerMaterialize)->Arg(64)->Arg(256);
+
+void BM_ReshapeView(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Reshape(a, {n * n}).storage_data());
+  }
+}
+BENCHMARK(BM_ReshapeView)->Arg(64)->Arg(256);
+
+// ---- Serial vs threaded kernels ---------------------------------------------
+
+void BM_MatMulThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  kernels::SetNumThreads(state.range(1));
+  Rng rng(10);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b).data());
+  }
+  state.counters["threads"] = static_cast<double>(kernels::NumThreads());
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  kernels::SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Args({256, 1})
+    ->Args({256, 0});
+
+void BM_SoftmaxThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  kernels::SetNumThreads(state.range(1));
+  Rng rng(11);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(a).data());
+  }
+  state.counters["threads"] = static_cast<double>(kernels::NumThreads());
+  kernels::SetNumThreads(0);
+}
+BENCHMARK(BM_SoftmaxThreads)->Args({256, 1})->Args({256, 0});
 
 }  // namespace
 }  // namespace stisan

@@ -32,6 +32,8 @@ Tensor TaadDecode(const Tensor& candidates, const Tensor& encoder_out,
     }
   }
 
+  // TransposeLast2 is a zero-copy view; MatMul reads it in place through
+  // the fused transposed-GEMM path.
   Tensor logits = ops::MulScalar(
       ops::MatMul(candidates, ops::TransposeLast2(encoder_out)),
       1.0f / std::sqrt(static_cast<float>(d)));

@@ -107,6 +107,8 @@ void NeuralSeqModel::Fit(const data::Dataset& dataset,
       Tensor s = Preferences(c, f, step_of_row, first_real);
       Tensor scores = ops::Reshape(ops::SumDim(s * c, 1),
                                    {m, num_negatives + 1});
+      // The column slices are strided views; Reshape materialises the
+      // non-contiguous positive column, BceLoss normalises the rest.
       Tensor pos = ops::Reshape(ops::Slice(scores, 1, 0, 1), {m});
       Tensor neg = ops::Slice(scores, 1, 1, num_negatives + 1);
       Tensor loss = train::BceLoss(pos, neg);

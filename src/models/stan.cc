@@ -57,6 +57,7 @@ Tensor StanModel::EncodeSource(const std::vector<int64_t>& pois,
       dp[i * n + j] = static_cast<float>(1.0 - (max_d > 0 ? dd / max_d : 0));
     }
   }
+  // Offset views of the 2-element parameter; grads land in its buffer.
   Tensor wt = ops::Slice(interval_weights_, 0, 0, 1);  // [1]
   Tensor wd = ops::Slice(interval_weights_, 0, 1, 2);  // [1]
   Tensor bias = t_prox * wt + d_prox * wd;  // broadcast [n,n] * [1]

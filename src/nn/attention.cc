@@ -40,6 +40,8 @@ Tensor CausalSelfAttention::HeadAttention(const Tensor& q, const Tensor& k,
                                           const Tensor& v, const Tensor& bias,
                                           int64_t n, Rng& rng,
                                           bool with_dropout) const {
+  // TransposeLast2 yields a zero-copy view; when k is contiguous MatMul
+  // consumes it in place through the fused transposed-GEMM path.
   Tensor logits = ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
                                  1.0f / std::sqrt(float(q.size(1))));
   if (causal_) logits = logits + BuildCausalMask(n);
@@ -62,8 +64,9 @@ Tensor CausalSelfAttention::Forward(const Tensor& x, const Tensor& bias,
   if (num_heads_ == 1) {
     return HeadAttention(q, k, v, bias, n, rng, /*with_dropout=*/true);
   }
-  // Multi-head: slice [n, d] into head-sized columns, attend per head,
-  // concatenate. The additive bias is shared across heads.
+  // Multi-head: slice [n, d] into head-sized columns (zero-copy strided
+  // views over q/k/v), attend per head, concatenate. The additive bias is
+  // shared across heads.
   const int64_t dk = dim_ / num_heads_;
   Tensor out;
   for (int64_t h = 0; h < num_heads_; ++h) {

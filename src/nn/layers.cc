@@ -99,6 +99,8 @@ LearnedPositionalEmbedding::LearnedPositionalEmbedding(int64_t max_len,
 
 Tensor LearnedPositionalEmbedding::Forward(int64_t n) const {
   STISAN_CHECK_LE(n, weight_.size(0));
+  // Zero-copy view of the parameter's first n rows; gradients accumulate
+  // straight into the parameter's buffer (views share grad storage).
   return ops::Slice(weight_, 0, 0, n);
 }
 

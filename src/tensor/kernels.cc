@@ -1,0 +1,265 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace stisan::kernels {
+
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+// True while the current thread is executing a ParallelRanges chunk; nested
+// dispatches must run inline (a worker waiting on its own pool deadlocks).
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+int64_t ParallelMinWork() {
+  static const int64_t threshold =
+      std::max<int64_t>(1, EnvInt64("STISAN_PARALLEL_WORK", int64_t{1} << 15));
+  return threshold;
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(EnvInt64("STISAN_NUM_THREADS", 0));
+  }
+  return *g_pool;
+}
+
+int64_t NumThreads() { return GlobalPool().num_threads(); }
+
+void SetNumThreads(int64_t threads) {
+  GlobalPool();  // ensure initialised so the swap below is the only writer
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void ParallelRanges(int64_t n, int64_t cost_per_item,
+                    const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t work = n * std::max<int64_t>(1, cost_per_item);
+  if (tl_in_parallel_region || work < ParallelMinWork()) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool& pool = GlobalPool();
+  const int64_t chunks = std::min<int64_t>(n, pool.num_threads());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * per_chunk;
+    const int64_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    pool.Submit([begin, end, &fn] {
+      tl_in_parallel_region = true;
+      fn(begin, end);
+      tl_in_parallel_region = false;
+    });
+  }
+  pool.Wait();
+}
+
+namespace {
+
+// One row-range of the Gemm. Every variant iterates output rows i in
+// [i0, i1) and uses the same per-element accumulation order as a full
+// serial sweep, so threading never changes results.
+void GemmRowRange(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool ta, bool tb, bool accumulate,
+                  int64_t i0, int64_t i1) {
+  if (!accumulate) std::fill(c + i0 * n, c + i1 * n, 0.0f);
+  if (!ta && !tb) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!ta && tb) {  // B physically [n,k]
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        c[i * n + j] += acc;
+      }
+    }
+  } else if (ta && !tb) {  // A physically [k,m]
+    for (int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a[p * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {  // ta && tb: A [k,m], B [n,k]
+    for (int64_t i = i0; i < i1; ++i)
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
+        c[i * n + j] += acc;
+      }
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool ta, bool tb, bool accumulate) {
+  ParallelRanges(m, k * n, [&](int64_t i0, int64_t i1) {
+    GemmRowRange(a, b, c, m, k, n, ta, tb, accumulate, i0, i1);
+  });
+}
+
+void BatchedGemm(const float* a, const float* b, float* c, int64_t batch,
+                 int64_t m, int64_t k, int64_t n, bool ta, bool tb,
+                 bool accumulate) {
+  const int64_t sza = m * k, szb = k * n, szc = m * n;
+  ParallelRanges(batch, m * k * n, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      GemmRowRange(a + t * sza, b + t * szb, c + t * szc, m, k, n, ta, tb,
+                   accumulate, 0, m);
+    }
+  });
+}
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t d) {
+  ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float* yr = y + r * d;
+      float mx = xr[0];
+      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        sum += yr[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t j = 0; j < d; ++j) yr[j] *= inv;
+    }
+  });
+}
+
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t d) {
+  ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* yr = y + r * d;
+      const float* gr = gy + r * d;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < d; ++j) dot += yr[j] * gr[j];
+      float* gxr = gx + r * d;
+      for (int64_t j = 0; j < d; ++j) gxr[j] += yr[j] * (gr[j] - dot);
+    }
+  });
+}
+
+void LogSoftmaxRows(const float* x, float* y, int64_t rows, int64_t d) {
+  ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float* yr = y + r * d;
+      float mx = xr[0];
+      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) sum += std::exp(xr[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (int64_t j = 0; j < d; ++j) yr[j] = xr[j] - lse;
+    }
+  });
+}
+
+void LogSoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                            int64_t rows, int64_t d) {
+  ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* yr = y + r * d;
+      const float* gr = gy + r * d;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) gsum += gr[j];
+      float* gxr = gx + r * d;
+      for (int64_t j = 0; j < d; ++j)
+        gxr[j] += gr[j] - std::exp(yr[j]) * gsum;
+    }
+  });
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float* y, float* mu, float* inv_sigma, int64_t rows,
+                   int64_t d, float eps) {
+  ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float m = 0.0f;
+      for (int64_t j = 0; j < d; ++j) m += xr[j];
+      m /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t j = 0; j < d; ++j) {
+        const float c = xr[j] - m;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float is = 1.0f / std::sqrt(var + eps);
+      mu[r] = m;
+      inv_sigma[r] = is;
+      float* yr = y + r * d;
+      for (int64_t j = 0; j < d; ++j)
+        yr[j] = gamma[j] * (xr[j] - m) * is + beta[j];
+    }
+  });
+}
+
+void GatherRows(const float* w, const int64_t* ids, float* out, int64_t n,
+                int64_t d, int64_t padding_idx) {
+  ParallelRanges(n, d, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t id = ids[i];
+      if (id == padding_idx) {
+        std::fill(out + i * d, out + (i + 1) * d, 0.0f);
+      } else {
+        std::copy(w + id * d, w + (id + 1) * d, out + i * d);
+      }
+    }
+  });
+}
+
+void TransposeMats(const float* in, float* out, int64_t mats, int64_t rows,
+                   int64_t cols) {
+  ParallelRanges(mats, rows * cols, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const float* src = in + t * rows * cols;
+      float* dst = out + t * rows * cols;
+      for (int64_t i = 0; i < rows; ++i)
+        for (int64_t j = 0; j < cols; ++j)
+          dst[j * rows + i] = src[i * cols + j];
+    }
+  });
+}
+
+}  // namespace stisan::kernels

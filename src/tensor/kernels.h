@@ -1,0 +1,97 @@
+// Central compute-kernel backend for the tensor layer.
+//
+// Every dense loop the autograd ops execute (matmul, batched matmul,
+// softmax, layernorm, elementwise maps, embedding gather) lives here, behind
+// a process-wide lazily-initialised ThreadPool. Work is dispatched with
+// ParallelRanges: a job is split across the pool only when its element-count
+// cost crosses kParallelMinWork (so tiny test tensors stay serial) and the
+// pool has more than one thread.
+//
+// Determinism: parallelism is only ever over *disjoint output rows/ranges* —
+// each output element is produced by exactly one thread using the same
+// inner-loop accumulation order as the serial path, so results are
+// bit-identical for any thread count. Cross-row reductions (ops::Sum,
+// layernorm's gamma/beta grads, embedding scatter) stay serial for the same
+// reason.
+//
+// Env knobs:
+//   STISAN_NUM_THREADS    - pool size (default: hardware concurrency)
+//   STISAN_PARALLEL_WORK  - min element-work before threading (default 2^15)
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace stisan::kernels {
+
+/// Work threshold (in "element operations") below which ParallelRanges runs
+/// serially. Overridable via STISAN_PARALLEL_WORK.
+int64_t ParallelMinWork();
+
+/// The process-wide pool. Constructed on first use with STISAN_NUM_THREADS
+/// threads (default: hardware concurrency).
+ThreadPool& GlobalPool();
+
+/// Number of worker threads the next dispatch will use.
+int64_t NumThreads();
+
+/// Re-sizes the global pool (0 = hardware concurrency). Intended for
+/// benchmarks and tests that compare serial vs threaded execution; not safe
+/// to call while kernels are executing on other threads.
+void SetNumThreads(int64_t threads);
+
+/// Runs fn(begin, end) over a partition of [0, n). Splits across the pool
+/// when n * cost_per_item >= ParallelMinWork() and more than one worker is
+/// available; otherwise calls fn(0, n) inline. Safe to call from inside a
+/// worker (nested calls run serially).
+void ParallelRanges(int64_t n, int64_t cost_per_item,
+                    const std::function<void(int64_t, int64_t)>& fn);
+
+// ---- Dense kernels ---------------------------------------------------------
+// All pointers are dense row-major blocks (callers normalise views first).
+
+/// C[m,n] (+)= A x B with optional logical transposes. Physical layouts:
+/// A is [m,k] (or [k,m] when ta), B is [k,n] (or [n,k] when tb), C is always
+/// [m,n]. Parallel over rows of C.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool ta, bool tb, bool accumulate);
+
+/// batch x independent Gemms on contiguous [b,m,k] x [b,k,n] blocks.
+/// Parallel over the batch.
+void BatchedGemm(const float* a, const float* b, float* c, int64_t batch,
+                 int64_t m, int64_t k, int64_t n, bool ta, bool tb,
+                 bool accumulate);
+
+/// Row-wise numerically-stable softmax: y[r,:] = softmax(x[r,:]).
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t d);
+
+/// Accumulates the softmax backward into gx: gx += dsoftmax(y, gy).
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t d);
+
+/// Row-wise log-softmax.
+void LogSoftmaxRows(const float* x, float* y, int64_t rows, int64_t d);
+
+/// Accumulates the log-softmax backward into gx (y holds log-probs).
+void LogSoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                            int64_t rows, int64_t d);
+
+/// Fused layer norm forward; also writes per-row mean and inverse stddev
+/// (needed by the backward pass).
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float* y, float* mu, float* inv_sigma, int64_t rows,
+                   int64_t d, float eps);
+
+/// Row gather: out[i,:] = w[ids[i],:], zero-filled where ids[i] ==
+/// padding_idx (pass a negative padding_idx to disable).
+void GatherRows(const float* w, const int64_t* ids, float* out, int64_t n,
+                int64_t d, int64_t padding_idx);
+
+/// out[t] = transpose of the t-th [rows, cols] matrix in `in`.
+void TransposeMats(const float* in, float* out, int64_t mats, int64_t rows,
+                   int64_t cols);
+
+}  // namespace stisan::kernels

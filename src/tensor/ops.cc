@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels.h"
+
 namespace stisan {
 namespace ops {
 namespace {
@@ -13,12 +15,15 @@ using internal::TensorImplPtr;
 
 // Creates a result node wired to its parents. The backward function is only
 // attached when grad recording is on and at least one parent needs grads.
+// The node owns fresh dense storage.
 Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
                 std::function<void(TensorImpl&)> backward) {
   auto impl = std::make_shared<TensorImpl>();
   const int64_t n = NumElements(shape);
+  impl->strides = ContiguousStrides(shape);
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->storage = std::make_shared<internal::Storage>();
+  impl->storage->data.assign(static_cast<size_t>(n), 0.0f);
   bool needs = false;
   if (internal::GradEnabled()) {
     for (const auto& p : parents)
@@ -30,6 +35,44 @@ Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
     impl->backward_fn = std::move(backward);
   }
   return Tensor(std::move(impl));
+}
+
+// Creates a zero-copy view sharing `base`'s storage. Views are
+// grad-transparent: their grad region aliases the base's, so they carry a
+// parent edge (to keep the base reachable in the topological sweep) but no
+// backward function.
+Tensor MakeView(const TensorImplPtr& base, Shape shape,
+                std::vector<int64_t> strides, int64_t offset) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->strides = std::move(strides);
+  impl->offset = offset;
+  impl->storage = base->storage;
+  impl->requires_grad = base->requires_grad && internal::GradEnabled();
+  if (impl->requires_grad) impl->parents = {base};
+  return Tensor(std::move(impl));
+}
+
+// Iterates a strided index space in logical row-major order, calling
+// fn(dense_flat, storage_flat).
+template <typename Fn>
+void ForEachStrided(const Shape& shape, const std::vector<int64_t>& strides,
+                    int64_t offset, Fn&& fn) {
+  const int64_t n = NumElements(shape);
+  if (n == 0) return;
+  const size_t rank = shape.size();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t ofs = offset;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    fn(flat, ofs);
+    for (size_t d = rank; d-- > 0;) {
+      idx[d]++;
+      ofs += strides[d];
+      if (idx[d] < shape[d]) break;
+      ofs -= strides[d] * shape[d];
+      idx[d] = 0;
+    }
+  }
 }
 
 // ---- Broadcasting machinery ------------------------------------------------
@@ -63,7 +106,8 @@ std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
 }
 
 // Iterates the output index space of `out_shape` calling
-// fn(out_flat, a_flat, b_flat).
+// fn(out_flat, a_flat, b_flat). Offsets are dense (both operands must be
+// contiguous; pointers already include the view offset).
 template <typename Fn>
 void ForEachBroadcast(const Shape& out_shape, const Shape& a_shape,
                       const Shape& b_shape, Fn&& fn) {
@@ -105,8 +149,11 @@ bool IsTrailingVector(const Shape& a, const Shape& b) {
 // Generic elementwise binary op with fwd(a_val, b_val) and backward partials
 // dfa(g, a, b, out) / dfb(g, a, b, out) evaluated per element.
 template <typename Fwd, typename DA, typename DB>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA dfa, DB dfb) {
-  STISAN_CHECK(a.defined() && b.defined());
+Tensor BinaryOp(const Tensor& a_in, const Tensor& b_in, Fwd fwd, DA dfa,
+                DB dfb) {
+  STISAN_CHECK(a_in.defined() && b_in.defined());
+  const Tensor a = Contiguous(a_in);
+  const Tensor b = Contiguous(b_in);
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   auto ai = a.impl();
   auto bi = b.impl();
@@ -117,29 +164,55 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA dfa, DB dfb) {
         const bool need_b = bi->requires_grad;
         if (need_a) ai->EnsureGrad();
         if (need_b) bi->EnsureGrad();
-        ForEachBroadcast(
-            out_shape, ai->shape, bi->shape,
-            [&](int64_t o, int64_t ia, int64_t ib) {
-              const float g = self.grad[static_cast<size_t>(o)];
-              const float av = ai->data[static_cast<size_t>(ia)];
-              const float bv = bi->data[static_cast<size_t>(ib)];
-              const float ov = self.data[static_cast<size_t>(o)];
-              if (need_a) ai->grad[static_cast<size_t>(ia)] += dfa(g, av, bv, ov);
-              if (need_b) bi->grad[static_cast<size_t>(ib)] += dfb(g, av, bv, ov);
-            });
+        const float* sg = self.Grad();
+        const float* sd = self.Data();
+        const float* ad = ai->Data();
+        const float* bd = bi->Data();
+        float* ag = need_a ? ai->Grad() : nullptr;
+        float* bg = need_b ? bi->Grad() : nullptr;
+        if (SameShape(ai->shape, bi->shape)) {
+          // Threading is safe only when the two grad regions cannot overlap
+          // element-wise across chunk boundaries (views of one storage may).
+          const bool disjoint =
+              !(need_a && need_b) || ai->storage.get() != bi->storage.get();
+          const auto chunk = [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              const float g = sg[i];
+              if (ag != nullptr) ag[i] += dfa(g, ad[i], bd[i], sd[i]);
+              if (bg != nullptr) bg[i] += dfb(g, ad[i], bd[i], sd[i]);
+            }
+          };
+          if (disjoint) {
+            kernels::ParallelRanges(self.numel(), 2, chunk);
+          } else {
+            chunk(0, self.numel());
+          }
+          return;
+        }
+        ForEachBroadcast(out_shape, ai->shape, bi->shape,
+                         [&](int64_t o, int64_t ia, int64_t ib) {
+                           const float g = sg[o];
+                           if (ag != nullptr)
+                             ag[ia] += dfa(g, ad[ia], bd[ib], sd[o]);
+                           if (bg != nullptr)
+                             bg[ib] += dfb(g, ad[ia], bd[ib], sd[o]);
+                         });
       });
   float* od = out.data();
   const float* ad = a.data();
   const float* bd = b.data();
   if (SameShape(a.shape(), b.shape())) {
-    const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) od[i] = fwd(ad[i], bd[i]);
+    kernels::ParallelRanges(out.numel(), 1, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) od[i] = fwd(ad[i], bd[i]);
+    });
   } else if (IsTrailingVector(a.shape(), b.shape())) {
     const int64_t d = a.shape().back();
     const int64_t rows = a.numel() / d;
-    for (int64_t r = 0; r < rows; ++r)
-      for (int64_t c = 0; c < d; ++c)
-        od[r * d + c] = fwd(ad[r * d + c], bd[c]);
+    kernels::ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r)
+        for (int64_t c = 0; c < d; ++c)
+          od[r * d + c] = fwd(ad[r * d + c], bd[c]);
+    });
   } else {
     ForEachBroadcast(out_shape, a.shape(), b.shape(),
                      [&](int64_t o, int64_t ia, int64_t ib) {
@@ -151,73 +224,69 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA dfa, DB dfb) {
 
 // Generic elementwise unary op.
 template <typename Fwd, typename Bwd>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
-  STISAN_CHECK(a.defined());
+Tensor UnaryOp(const Tensor& a_in, Fwd fwd, Bwd bwd) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
   Tensor out = MakeNode(a.shape(), {ai}, [ai, bwd](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    const size_t n = self.data.size();
-    for (size_t i = 0; i < n; ++i)
-      ai->grad[i] += bwd(self.grad[i], ai->data[i], self.data[i]);
+    const float* sg = self.Grad();
+    const float* sd = self.Data();
+    const float* ad = ai->Data();
+    float* ag = ai->Grad();
+    kernels::ParallelRanges(self.numel(), 2, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) ag[i] += bwd(sg[i], ad[i], sd[i]);
+    });
   });
   const float* ad = a.data();
   float* od = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) od[i] = fwd(ad[i]);
+  kernels::ParallelRanges(a.numel(), 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = fwd(ad[i]);
+  });
   return out;
 }
 
-// ---- GEMM kernels ------------------------------------------------------------
-
-// C[m,n] (+)= A x B with optional logical transposes.
-// Physical layouts: A is [m,k] (or [k,m] when ta), B is [k,n] (or [n,k] when
-// tb), C is always [m,n].
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n, bool ta, bool tb, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  if (!ta && !tb) {
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a[i * k + p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!ta && tb) {  // B physically [n,k]
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        c[i * n + j] += acc;
-      }
-    }
-  } else if (ta && !tb) {  // A physically [k,m]
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else {  // ta && tb: A [k,m], B [n,k]
-    for (int64_t i = 0; i < m; ++i)
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
-        c[i * n + j] += acc;
-      }
-  }
+// True for a 2-D view that is TransposeLast2 of a dense [n,k] block: shape
+// [k,n] with strides {1,k}. MatMul consumes these in place via Gemm's tb
+// flag instead of materialising.
+bool IsTransposed2DView(const TensorImpl& t) {
+  return t.shape.size() == 2 && t.shape[0] > 1 && t.shape[1] > 1 &&
+         t.strides[0] == 1 && t.strides[1] == t.shape[0];
 }
 
 }  // namespace
+
+// ---- Contiguity -------------------------------------------------------------
+
+Tensor Contiguous(const Tensor& a) {
+  STISAN_CHECK(a.defined());
+  if (a.IsContiguous()) return a;
+  auto ai = a.impl();
+  const Shape shape = ai->shape;
+  const std::vector<int64_t> strides = ai->strides;
+  const int64_t offset = ai->offset;
+  Tensor out = MakeNode(
+      shape, {ai}, [ai, shape, strides, offset](TensorImpl& self) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        // Scatter-accumulate the dense grad back through the view's strides
+        // into the base storage. This is the single place view gradients are
+        // routed; pure views alias the base grad region and need nothing.
+        float* base_grad = ai->storage->grad.data();
+        const float* sg = self.Grad();
+        ForEachStrided(shape, strides, offset,
+                       [&](int64_t dense, int64_t st) {
+                         base_grad[st] += sg[dense];
+                       });
+      });
+  float* od = out.data();
+  const float* base = ai->storage->data.data();
+  ForEachStrided(shape, strides, offset, [&](int64_t dense, int64_t st) {
+    od[dense] = base[st];
+  });
+  return out;
+}
 
 // ---- Elementwise binary -------------------------------------------------------
 
@@ -380,29 +449,59 @@ Tensor LogSigmoid(const Tensor& a) {
 
 // ---- Matrix ------------------------------------------------------------------------
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  STISAN_CHECK(a.defined() && b.defined());
-  const Shape& sa = a.shape();
-  const Shape& sb = b.shape();
-  auto ai = a.impl();
-  auto bi = b.impl();
+Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
+  STISAN_CHECK(a_in.defined() && b_in.defined());
+  const Shape sa = a_in.shape();
+  const Shape sb = b_in.shape();
 
   if (sa.size() == 2 && sb.size() == 2) {
     const int64_t m = sa[0], k = sa[1], n = sb[1];
     STISAN_CHECK_EQ(k, sb[0]);
-    Tensor out = MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
-      if (ai->requires_grad) {
-        ai->EnsureGrad();
-        Gemm(self.grad.data(), bi->data.data(), ai->grad.data(), m, n, k,
-             false, true, true);  // dA = G x B^T
-      }
-      if (bi->requires_grad) {
-        bi->EnsureGrad();
-        Gemm(ai->data.data(), self.grad.data(), bi->grad.data(), k, m, n,
-             true, false, true);  // dB = A^T x G
-      }
-    });
-    Gemm(a.data(), b.data(), out.data(), m, k, n, false, false, false);
+    const Tensor a = Contiguous(a_in);
+    auto ai = a.impl();
+
+    // Fast path: b is a TransposeLast2 view of a dense [n,k] block. Read the
+    // block with Gemm's tb flag; the backward writes dB straight into the
+    // base's [n,k] grad region (the view is grad-transparent).
+    if (!b_in.IsContiguous() && IsTransposed2DView(*b_in.impl())) {
+      auto bi = b_in.impl();
+      Tensor out =
+          MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
+            if (ai->requires_grad) {
+              ai->EnsureGrad();
+              // dA = G x Base, with Base the dense [n,k] block.
+              kernels::Gemm(self.Grad(), bi->Data(), ai->Grad(), m, n, k,
+                            false, false, true);
+            }
+            if (bi->requires_grad) {
+              bi->EnsureGrad();
+              // dBase = G^T x A, a dense [n,k] result at the view's offset.
+              kernels::Gemm(self.Grad(), ai->Data(), bi->Grad(), n, m, k,
+                            true, false, true);
+            }
+          });
+      kernels::Gemm(ai->Data(), bi->Data(), out.data(), m, k, n, false, true,
+                    false);
+      return out;
+    }
+
+    const Tensor b = Contiguous(b_in);
+    auto bi = b.impl();
+    Tensor out =
+        MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
+          if (ai->requires_grad) {
+            ai->EnsureGrad();
+            kernels::Gemm(self.Grad(), bi->Data(), ai->Grad(), m, n, k, false,
+                          true, true);  // dA = G x B^T
+          }
+          if (bi->requires_grad) {
+            bi->EnsureGrad();
+            kernels::Gemm(ai->Data(), self.Grad(), bi->Grad(), k, m, n, true,
+                          false, true);  // dB = A^T x G
+          }
+        });
+    kernels::Gemm(ai->Data(), bi->Data(), out.data(), m, k, n, false, false,
+                  false);
     return out;
   }
 
@@ -410,32 +509,33 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const int64_t bsz = sa[0], m = sa[1], k = sa[2], n = sb[2];
     STISAN_CHECK_EQ(bsz, sb[0]);
     STISAN_CHECK_EQ(k, sb[1]);
+    const Tensor a = Contiguous(a_in);
+    const Tensor b = Contiguous(b_in);
+    auto ai = a.impl();
+    auto bi = b.impl();
     Tensor out = MakeNode(
         {bsz, m, n}, {ai, bi}, [ai, bi, bsz, m, k, n](TensorImpl& self) {
-          const int64_t sza = m * k, szb = k * n, szc = m * n;
-          if (ai->requires_grad) ai->EnsureGrad();
-          if (bi->requires_grad) bi->EnsureGrad();
-          for (int64_t t = 0; t < bsz; ++t) {
-            if (ai->requires_grad)
-              Gemm(self.grad.data() + t * szc, bi->data.data() + t * szb,
-                   ai->grad.data() + t * sza, m, n, k, false, true, true);
-            if (bi->requires_grad)
-              Gemm(ai->data.data() + t * sza, self.grad.data() + t * szc,
-                   bi->grad.data() + t * szb, k, m, n, true, false, true);
+          if (ai->requires_grad) {
+            ai->EnsureGrad();
+            kernels::BatchedGemm(self.Grad(), bi->Data(), ai->Grad(), bsz, m,
+                                 n, k, false, true, true);
+          }
+          if (bi->requires_grad) {
+            bi->EnsureGrad();
+            kernels::BatchedGemm(ai->Data(), self.Grad(), bi->Grad(), bsz, k,
+                                 m, n, true, false, true);
           }
         });
-    const int64_t sza = m * k, szb = k * n, szc = m * n;
-    for (int64_t t = 0; t < bsz; ++t)
-      Gemm(a.data() + t * sza, b.data() + t * szb, out.data() + t * szc, m, k,
-           n, false, false, false);
+    kernels::BatchedGemm(ai->Data(), bi->Data(), out.data(), bsz, m, k, n,
+                         false, false, false);
     return out;
   }
 
   if (sa.size() == 3 && sb.size() == 2) {
-    // Shared right operand: flatten the batch.
+    // Shared right operand: flatten the batch (zero-copy for contiguous a).
     const int64_t bsz = sa[0], m = sa[1], k = sa[2];
-    Tensor flat = Reshape(a, {bsz * m, k});
-    Tensor out = MatMul(flat, b);
+    Tensor flat = Reshape(a_in, {bsz * m, k});
+    Tensor out = MatMul(flat, b_in);
     return Reshape(out, {bsz, m, sb[1]});
   }
 
@@ -447,54 +547,32 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor TransposeLast2(const Tensor& a) {
   STISAN_CHECK(a.defined());
-  const Shape& s = a.shape();
-  STISAN_CHECK_GE(s.size(), 2u);
-  Shape out_shape = s;
-  std::swap(out_shape[s.size() - 1], out_shape[s.size() - 2]);
-  const int64_t rows = s[s.size() - 2];
-  const int64_t cols = s[s.size() - 1];
-  const int64_t mats = a.numel() / (rows * cols);
   auto ai = a.impl();
-  Tensor out =
-      MakeNode(out_shape, {ai}, [ai, rows, cols, mats](TensorImpl& self) {
-        if (!ai->requires_grad) return;
-        ai->EnsureGrad();
-        for (int64_t t = 0; t < mats; ++t) {
-          const float* g = self.grad.data() + t * rows * cols;
-          float* ag = ai->grad.data() + t * rows * cols;
-          for (int64_t i = 0; i < rows; ++i)
-            for (int64_t j = 0; j < cols; ++j)
-              ag[i * cols + j] += g[j * rows + i];
-        }
-      });
-  const float* ad = a.data();
-  float* od = out.data();
-  for (int64_t t = 0; t < mats; ++t) {
-    const float* src = ad + t * rows * cols;
-    float* dst = od + t * rows * cols;
-    for (int64_t i = 0; i < rows; ++i)
-      for (int64_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
-  }
-  return out;
+  const size_t rank = ai->shape.size();
+  STISAN_CHECK_GE(rank, 2u);
+  Shape out_shape = ai->shape;
+  std::vector<int64_t> out_strides = ai->strides;
+  std::swap(out_shape[rank - 1], out_shape[rank - 2]);
+  std::swap(out_strides[rank - 1], out_strides[rank - 2]);
+  return MakeView(ai, std::move(out_shape), std::move(out_strides),
+                  ai->offset);
 }
 
 // ---- Shape ---------------------------------------------------------------------------
 
-Tensor Reshape(const Tensor& a, Shape new_shape) {
-  STISAN_CHECK(a.defined());
-  STISAN_CHECK_EQ(NumElements(new_shape), a.numel());
+Tensor Reshape(const Tensor& a_in, Shape new_shape) {
+  STISAN_CHECK(a_in.defined());
+  STISAN_CHECK_EQ(NumElements(new_shape), a_in.numel());
+  const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
-  Tensor out = MakeNode(std::move(new_shape), {ai}, [ai](TensorImpl& self) {
-    if (!ai->requires_grad) return;
-    ai->EnsureGrad();
-    for (size_t i = 0; i < self.grad.size(); ++i) ai->grad[i] += self.grad[i];
-  });
-  std::memcpy(out.data(), a.data(), sizeof(float) * a.numel());
-  return out;
+  std::vector<int64_t> strides = ContiguousStrides(new_shape);
+  return MakeView(ai, std::move(new_shape), std::move(strides), ai->offset);
 }
 
-Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim) {
-  STISAN_CHECK(a.defined() && b.defined());
+Tensor Concat(const Tensor& a_in, const Tensor& b_in, int64_t dim) {
+  STISAN_CHECK(a_in.defined() && b_in.defined());
+  const Tensor a = Contiguous(a_in);
+  const Tensor b = Contiguous(b_in);
   const Shape& sa = a.shape();
   const Shape& sb = b.shape();
   STISAN_CHECK_EQ(sa.size(), sb.size());
@@ -521,13 +599,13 @@ Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim) {
         if (ai->requires_grad) ai->EnsureGrad();
         if (bi->requires_grad) bi->EnsureGrad();
         for (int64_t o = 0; o < outer; ++o) {
-          const float* g = self.grad.data() + o * mo * inner;
+          const float* g = self.Grad() + o * mo * inner;
           if (ai->requires_grad) {
-            float* ga = ai->grad.data() + o * ma * inner;
+            float* ga = ai->Grad() + o * ma * inner;
             for (int64_t i = 0; i < ma * inner; ++i) ga[i] += g[i];
           }
           if (bi->requires_grad) {
-            float* gb = bi->grad.data() + o * mb * inner;
+            float* gb = bi->Grad() + o * mb * inner;
             for (int64_t i = 0; i < mb * inner; ++i)
               gb[i] += g[ma * inner + i];
           }
@@ -548,7 +626,8 @@ Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim) {
 
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
   STISAN_CHECK(a.defined());
-  const Shape& s = a.shape();
+  auto ai = a.impl();
+  const Shape& s = ai->shape;
   if (dim < 0) dim += static_cast<int64_t>(s.size());
   STISAN_CHECK_GE(dim, 0);
   STISAN_CHECK_LT(dim, static_cast<int64_t>(s.size()));
@@ -557,35 +636,15 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
   STISAN_CHECK_LT(start, end);
   Shape out_shape = s;
   out_shape[dim] = end - start;
-
-  int64_t outer = 1, inner = 1;
-  for (int64_t i = 0; i < dim; ++i) outer *= s[i];
-  for (size_t i = dim + 1; i < s.size(); ++i) inner *= s[i];
-  const int64_t mid = s[dim];
-  const int64_t len = end - start;
-
-  auto ai = a.impl();
-  Tensor out = MakeNode(
-      out_shape, {ai},
-      [ai, outer, inner, mid, start, len](TensorImpl& self) {
-        if (!ai->requires_grad) return;
-        ai->EnsureGrad();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* g = self.grad.data() + o * len * inner;
-          float* ga = ai->grad.data() + (o * mid + start) * inner;
-          for (int64_t i = 0; i < len * inner; ++i) ga[i] += g[i];
-        }
-      });
-  float* od = out.data();
-  const float* ad = a.data();
-  for (int64_t o = 0; o < outer; ++o)
-    std::memcpy(od + o * len * inner, ad + (o * mid + start) * inner,
-                sizeof(float) * len * inner);
-  return out;
+  return MakeView(ai, std::move(out_shape), ai->strides,
+                  ai->offset + start * ai->strides[dim]);
 }
 
-Tensor Stack0(const std::vector<Tensor>& parts) {
-  STISAN_CHECK(!parts.empty());
+Tensor Stack0(const std::vector<Tensor>& parts_in) {
+  STISAN_CHECK(!parts_in.empty());
+  std::vector<Tensor> parts;
+  parts.reserve(parts_in.size());
+  for (const auto& p : parts_in) parts.push_back(Contiguous(p));
   const Shape& s0 = parts[0].shape();
   for (const auto& p : parts) STISAN_CHECK(p.shape() == s0);
   Shape out_shape;
@@ -597,14 +656,16 @@ Tensor Stack0(const std::vector<Tensor>& parts) {
   for (const auto& p : parts) parents.push_back(p.impl());
   const int64_t chunk = parts[0].numel();
   auto parents_copy = parents;
-  Tensor out =
-      MakeNode(out_shape, std::move(parents), [parents_copy, chunk](TensorImpl& self) {
+  Tensor out = MakeNode(
+      out_shape, std::move(parents),
+      [parents_copy, chunk](TensorImpl& self) {
         for (size_t t = 0; t < parents_copy.size(); ++t) {
           auto& p = parents_copy[t];
           if (!p->requires_grad) continue;
           p->EnsureGrad();
-          const float* g = self.grad.data() + t * chunk;
-          for (int64_t i = 0; i < chunk; ++i) p->grad[i] += g[i];
+          const float* g = self.Grad() + t * chunk;
+          float* pg = p->Grad();
+          for (int64_t i = 0; i < chunk; ++i) pg[i] += g[i];
         }
       });
   float* od = out.data();
@@ -613,9 +674,10 @@ Tensor Stack0(const std::vector<Tensor>& parts) {
   return out;
 }
 
-Tensor Unfold1D(const Tensor& a, int64_t window) {
-  STISAN_CHECK(a.defined());
-  STISAN_CHECK_EQ(a.dim(), 2);
+Tensor Unfold1D(const Tensor& a_in, int64_t window) {
+  STISAN_CHECK(a_in.defined());
+  STISAN_CHECK_EQ(a_in.dim(), 2);
+  const Tensor a = Contiguous(a_in);
   const int64_t n = a.size(0);
   const int64_t d = a.size(1);
   STISAN_CHECK_GE(n, window);
@@ -626,11 +688,12 @@ Tensor Unfold1D(const Tensor& a, int64_t window) {
       {rows, window * d}, {ai}, [ai, rows, window, d](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
+        const float* sg = self.Grad();
+        float* ag = ai->Grad();
         for (int64_t r = 0; r < rows; ++r)
           for (int64_t w = 0; w < window; ++w)
             for (int64_t c = 0; c < d; ++c)
-              ai->grad[(r + w) * d + c] +=
-                  self.grad[r * window * d + w * d + c];
+              ag[(r + w) * d + c] += sg[r * window * d + w * d + c];
       });
   float* od = out.data();
   const float* ad = a.data();
@@ -643,18 +706,22 @@ Tensor Unfold1D(const Tensor& a, int64_t window) {
 
 // ---- Reductions -----------------------------------------------------------------------
 
-Tensor Sum(const Tensor& a) {
-  STISAN_CHECK(a.defined());
+Tensor Sum(const Tensor& a_in) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
-  Tensor out = MakeNode({1}, {ai}, [ai](TensorImpl& self) {
+  const int64_t n = a.numel();
+  Tensor out = MakeNode({1}, {ai}, [ai, n](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    const float g = self.grad[0];
-    for (auto& v : ai->grad) v += g;
+    const float g = self.Grad()[0];
+    // Only this view's [numel] range — the storage may be larger (views).
+    float* ag = ai->Grad();
+    for (int64_t i = 0; i < n; ++i) ag[i] += g;
   });
   float acc = 0.0f;
   const float* ad = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) acc += ad[i];
+  for (int64_t i = 0; i < n; ++i) acc += ad[i];
   out.data()[0] = acc;
   return out;
 }
@@ -663,8 +730,9 @@ Tensor Mean(const Tensor& a) {
   return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
 }
 
-Tensor SumDim(const Tensor& a, int64_t dim, bool keepdim) {
-  STISAN_CHECK(a.defined());
+Tensor SumDim(const Tensor& a_in, int64_t dim, bool keepdim) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   const Shape& s = a.shape();
   if (dim < 0) dim += static_cast<int64_t>(s.size());
   STISAN_CHECK_GE(dim, 0);
@@ -689,11 +757,12 @@ Tensor SumDim(const Tensor& a, int64_t dim, bool keepdim) {
       MakeNode(out_shape, {ai}, [ai, outer, inner, mid](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
+        const float* sg = self.Grad();
+        float* ag = ai->Grad();
         for (int64_t o = 0; o < outer; ++o)
           for (int64_t m = 0; m < mid; ++m)
             for (int64_t i = 0; i < inner; ++i)
-              ai->grad[(o * mid + m) * inner + i] +=
-                  self.grad[o * inner + i];
+              ag[(o * mid + m) * inner + i] += sg[o * inner + i];
       });
   float* od = out.data();
   const float* ad = a.data();
@@ -706,8 +775,9 @@ Tensor SumDim(const Tensor& a, int64_t dim, bool keepdim) {
   return out;
 }
 
-Tensor MaxDim(const Tensor& a, int64_t dim, bool keepdim) {
-  STISAN_CHECK(a.defined());
+Tensor MaxDim(const Tensor& a_in, int64_t dim, bool keepdim) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   const Shape& s = a.shape();
   if (dim < 0) dim += static_cast<int64_t>(s.size());
   int64_t outer = 1, inner = 1;
@@ -733,10 +803,12 @@ Tensor MaxDim(const Tensor& a, int64_t dim, bool keepdim) {
       out_shape, {ai}, [ai, outer, inner, mid, argmax](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
+        const float* sg = self.Grad();
+        float* ag = ai->Grad();
         for (int64_t o = 0; o < outer; ++o)
           for (int64_t i = 0; i < inner; ++i) {
             const int64_t m = (*argmax)[o * inner + i];
-            ai->grad[(o * mid + m) * inner + i] += self.grad[o * inner + i];
+            ag[(o * mid + m) * inner + i] += sg[o * inner + i];
           }
       });
   float* od = out.data();
@@ -774,76 +846,44 @@ Tensor MeanDim(const Tensor& a, int64_t dim, bool keepdim) {
 
 // ---- Neural-net specific ----------------------------------------------------------------
 
-Tensor Softmax(const Tensor& a) {
-  STISAN_CHECK(a.defined());
+Tensor Softmax(const Tensor& a_in) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   const int64_t d = a.shape().back();
   const int64_t rows = a.numel() / d;
   auto ai = a.impl();
   Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self.data.data() + r * d;
-      const float* g = self.grad.data() + r * d;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < d; ++j) dot += y[j] * g[j];
-      float* ag = ai->grad.data() + r * d;
-      for (int64_t j = 0; j < d; ++j) ag[j] += y[j] * (g[j] - dot);
-    }
+    kernels::SoftmaxBackwardRows(self.Data(), self.Grad(), ai->Grad(), rows,
+                                 d);
   });
-  const float* ad = a.data();
-  float* od = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = ad + r * d;
-    float* y = od + r * d;
-    float mx = x[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      sum += y[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
-  }
+  kernels::SoftmaxRows(a.data(), out.data(), rows, d);
   return out;
 }
 
-Tensor LogSoftmax(const Tensor& a) {
-  STISAN_CHECK(a.defined());
+Tensor LogSoftmax(const Tensor& a_in) {
+  STISAN_CHECK(a_in.defined());
+  const Tensor a = Contiguous(a_in);
   const int64_t d = a.shape().back();
   const int64_t rows = a.numel() / d;
   auto ai = a.impl();
   Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self.data.data() + r * d;  // log-probs
-      const float* g = self.grad.data() + r * d;
-      float gsum = 0.0f;
-      for (int64_t j = 0; j < d; ++j) gsum += g[j];
-      float* ag = ai->grad.data() + r * d;
-      for (int64_t j = 0; j < d; ++j) ag[j] += g[j] - std::exp(y[j]) * gsum;
-    }
+    kernels::LogSoftmaxBackwardRows(self.Data(), self.Grad(), ai->Grad(),
+                                    rows, d);
   });
-  const float* ad = a.data();
-  float* od = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = ad + r * d;
-    float* y = od + r * d;
-    float mx = x[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < d; ++j) sum += std::exp(x[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (int64_t j = 0; j < d; ++j) y[j] = x[j] - lse;
-  }
+  kernels::LogSoftmaxRows(a.data(), out.data(), rows, d);
   return out;
 }
 
-Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                 float eps) {
-  STISAN_CHECK(x.defined() && gamma.defined() && beta.defined());
+Tensor LayerNorm(const Tensor& x_in, const Tensor& gamma_in,
+                 const Tensor& beta_in, float eps) {
+  STISAN_CHECK(x_in.defined() && gamma_in.defined() && beta_in.defined());
+  const Tensor x = Contiguous(x_in);
+  const Tensor gamma = Contiguous(gamma_in);
+  const Tensor beta = Contiguous(beta_in);
   const int64_t d = x.shape().back();
   STISAN_CHECK_EQ(gamma.numel(), d);
   STISAN_CHECK_EQ(beta.numel(), d);
@@ -855,6 +895,8 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto mu = std::make_shared<std::vector<float>>(rows);
   auto inv_sigma = std::make_shared<std::vector<float>>(rows);
 
+  // Backward stays serial: gamma/beta grads reduce across rows, and the
+  // kernel determinism contract forbids cross-row parallel accumulation.
   Tensor out = MakeNode(
       x.shape(), {xi, gi, bi},
       [xi, gi, bi, mu, inv_sigma, rows, d](TensorImpl& self) {
@@ -864,9 +906,12 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (need_x) xi->EnsureGrad();
         if (need_g) gi->EnsureGrad();
         if (need_b) bi->EnsureGrad();
+        const float* gd = gi->Data();
+        float* ggrad = need_g ? gi->Grad() : nullptr;
+        float* bgrad = need_b ? bi->Grad() : nullptr;
         for (int64_t r = 0; r < rows; ++r) {
-          const float* xr = xi->data.data() + r * d;
-          const float* g = self.grad.data() + r * d;
+          const float* xr = xi->Data() + r * d;
+          const float* g = self.Grad() + r * d;
           const float m = (*mu)[r];
           const float is = (*inv_sigma)[r];
           // xhat_j = (x_j - m) * is
@@ -874,52 +919,33 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           float sum_ggx = 0.0f;  // sum_j gamma_j * g_j * xhat_j
           for (int64_t j = 0; j < d; ++j) {
             const float xhat = (xr[j] - m) * is;
-            const float gg = gi->data[j] * g[j];
+            const float gg = gd[j] * g[j];
             sum_gg += gg;
             sum_ggx += gg * xhat;
-            if (need_g) gi->grad[j] += g[j] * xhat;
-            if (need_b) bi->grad[j] += g[j];
+            if (need_g) ggrad[j] += g[j] * xhat;
+            if (need_b) bgrad[j] += g[j];
           }
           if (need_x) {
-            float* xg = xi->grad.data() + r * d;
+            float* xg = xi->Grad() + r * d;
             const float inv_d = 1.0f / static_cast<float>(d);
             for (int64_t j = 0; j < d; ++j) {
               const float xhat = (xr[j] - m) * is;
-              const float gg = gi->data[j] * g[j];
+              const float gg = gd[j] * g[j];
               xg[j] += is * (gg - inv_d * sum_gg - xhat * inv_d * sum_ggx);
             }
           }
         }
       });
-  const float* xd = x.data();
-  const float* gd = gamma.data();
-  const float* bd = beta.data();
-  float* od = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xd + r * d;
-    float m = 0.0f;
-    for (int64_t j = 0; j < d; ++j) m += xr[j];
-    m /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      const float c = xr[j] - m;
-      var += c * c;
-    }
-    var /= static_cast<float>(d);
-    const float is = 1.0f / std::sqrt(var + eps);
-    (*mu)[r] = m;
-    (*inv_sigma)[r] = is;
-    float* yr = od + r * d;
-    for (int64_t j = 0; j < d; ++j)
-      yr[j] = gd[j] * (xr[j] - m) * is + bd[j];
-  }
+  kernels::LayerNormRows(x.data(), gamma.data(), beta.data(), out.data(),
+                         mu->data(), inv_sigma->data(), rows, d, eps);
   return out;
 }
 
-Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids,
-                       int64_t padding_idx) {
-  STISAN_CHECK(weight.defined());
-  STISAN_CHECK_EQ(weight.dim(), 2);
+Tensor EmbeddingLookup(const Tensor& weight_in,
+                       const std::vector<int64_t>& ids, int64_t padding_idx) {
+  STISAN_CHECK(weight_in.defined());
+  STISAN_CHECK_EQ(weight_in.dim(), 2);
+  const Tensor weight = Contiguous(weight_in);
   const int64_t vocab = weight.size(0);
   const int64_t d = weight.size(1);
   const int64_t n = static_cast<int64_t>(ids.size());
@@ -929,53 +955,59 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids,
   }
   auto wi = weight.impl();
   auto ids_copy = std::make_shared<std::vector<int64_t>>(ids);
+  // Backward is a scatter (duplicate ids collide) — stays serial.
   Tensor out = MakeNode(
       {n, d}, {wi}, [wi, ids_copy, d, padding_idx](TensorImpl& self) {
         if (!wi->requires_grad) return;
         wi->EnsureGrad();
+        const float* sg = self.Grad();
+        float* wg = wi->Grad();
         for (size_t i = 0; i < ids_copy->size(); ++i) {
           const int64_t id = (*ids_copy)[i];
           if (id == padding_idx) continue;
-          const float* g = self.grad.data() + i * d;
-          float* wg = wi->grad.data() + id * d;
-          for (int64_t j = 0; j < d; ++j) wg[j] += g[j];
+          const float* g = sg + static_cast<int64_t>(i) * d;
+          float* wrow = wg + id * d;
+          for (int64_t j = 0; j < d; ++j) wrow[j] += g[j];
         }
       });
-  float* od = out.data();
-  const float* wd = weight.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t id = ids[static_cast<size_t>(i)];
-    if (id == padding_idx) {
-      std::fill(od + i * d, od + (i + 1) * d, 0.0f);
-    } else {
-      std::memcpy(od + i * d, wd + id * d, sizeof(float) * d);
-    }
-  }
+  kernels::GatherRows(weight.data(), ids_copy->data(), out.data(), n, d,
+                      padding_idx);
   return out;
 }
 
-Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
-  STISAN_CHECK(a.defined());
+Tensor Dropout(const Tensor& a_in, float p, Rng& rng, bool training) {
+  STISAN_CHECK(a_in.defined());
   STISAN_CHECK_GE(p, 0.0f);
   STISAN_CHECK_LT(p, 1.0f);
-  if (!training || p == 0.0f) return a;
+  if (!training || p == 0.0f) return a_in;
+  const Tensor a = Contiguous(a_in);
   const float scale = 1.0f / (1.0f - p);
+  // Mask generation consumes the RNG stream sequentially — stays serial.
   auto mask = std::make_shared<std::vector<float>>(a.numel());
   for (auto& m : *mask) m = rng.Bernoulli(p) ? 0.0f : scale;
   auto ai = a.impl();
   Tensor out = MakeNode(a.shape(), {ai}, [ai, mask](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
-    for (size_t i = 0; i < self.grad.size(); ++i)
-      ai->grad[i] += self.grad[i] * (*mask)[i];
+    const float* sg = self.Grad();
+    float* ag = ai->Grad();
+    const float* md = mask->data();
+    kernels::ParallelRanges(self.numel(), 1, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) ag[i] += sg[i] * md[i];
+    });
   });
   const float* ad = a.data();
   float* od = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) od[i] = ad[i] * (*mask)[i];
+  const float* md = mask->data();
+  kernels::ParallelRanges(a.numel(), 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] * md[i];
+  });
   return out;
 }
 
 }  // namespace ops
+
+Tensor Tensor::Contiguous() const { return ops::Contiguous(*this); }
 
 Tensor operator+(const Tensor& a, const Tensor& b) { return ops::Add(a, b); }
 Tensor operator-(const Tensor& a, const Tensor& b) { return ops::Sub(a, b); }

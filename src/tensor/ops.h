@@ -58,21 +58,31 @@ Tensor PowScalar(const Tensor& a, float exponent);
 // ---- Matrix ---------------------------------------------------------------
 
 /// Matrix product. Supports [m,k]x[k,n], batched [b,m,k]x[b,k,n], and
-/// broadcast [b,m,k]x[k,n] (shared right operand).
+/// broadcast [b,m,k]x[k,n] (shared right operand). A 2-D right operand that
+/// is a TransposeLast2 view is consumed in place (no materialisation): the
+/// kernel reads the underlying dense block with swapped strides.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// Swaps the last two dimensions (materialised copy). Requires dim() >= 2.
+/// Swaps the last two dimensions. Zero-copy: returns a strided view sharing
+/// the input's storage. Requires dim() >= 2.
 Tensor TransposeLast2(const Tensor& a);
 
 // ---- Shape ------------------------------------------------------------------
 
-/// Returns a reshaped view-copy; numel must match.
+/// Returns a tensor with the same values guaranteed dense row-major. The
+/// input itself when already contiguous (no copy); otherwise a materialised
+/// copy whose backward scatter-accumulates into the view's base storage.
+Tensor Contiguous(const Tensor& a);
+
+/// Reshapes; numel must match. Zero-copy view when the input is contiguous
+/// (the common case); otherwise materialises a dense copy first.
 Tensor Reshape(const Tensor& a, Shape new_shape);
 
 /// Concatenates two tensors along `dim` (other dims must match).
 Tensor Concat(const Tensor& a, const Tensor& b, int64_t dim);
 
-/// Slices along `dim`, keeping indices [start, end).
+/// Slices along `dim`, keeping indices [start, end). Zero-copy: returns a
+/// strided view sharing the input's storage (contiguous when dim == 0).
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end);
 
 /// Stacks equally-shaped tensors along a new leading dimension.

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <unordered_set>
 
@@ -26,6 +27,16 @@ std::string ShapeToString(const Shape& shape) {
   return os.str();
 }
 
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t stride = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = stride;
+    stride *= shape[i];
+  }
+  return strides;
+}
+
 namespace internal {
 
 namespace {
@@ -34,8 +45,14 @@ thread_local bool g_grad_enabled = true;
 
 bool GradEnabled() { return g_grad_enabled; }
 
-void TensorImpl::EnsureGrad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+bool TensorImpl::IsContiguous() const {
+  int64_t expect = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    if (shape[i] == 1) continue;  // stride of a size-1 dim is irrelevant
+    if (strides[i] != expect) return false;
+    expect *= shape[i];
+  }
+  return true;
 }
 
 }  // namespace internal
@@ -48,27 +65,56 @@ NoGradGuard::~NoGradGuard() { internal::g_grad_enabled = previous_; }
 
 namespace {
 
+using internal::TensorImpl;
+
 internal::TensorImplPtr MakeImpl(Shape shape, bool requires_grad) {
   auto impl = std::make_shared<internal::TensorImpl>();
   const int64_t n = NumElements(shape);
+  impl->strides = ContiguousStrides(shape);
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->storage = std::make_shared<internal::Storage>();
+  impl->storage->data.assign(static_cast<size_t>(n), 0.0f);
   impl->requires_grad = requires_grad && internal::GradEnabled();
   return impl;
 }
 
-int64_t FlatIndex(const Shape& shape, std::initializer_list<int64_t> idx) {
+// Storage-relative flat index for a (bounds-checked) multi-index.
+int64_t StridedIndex(const TensorImpl& t, std::initializer_list<int64_t> idx) {
   STISAN_CHECK_EQ(static_cast<int64_t>(idx.size()),
-                  static_cast<int64_t>(shape.size()));
-  int64_t flat = 0;
+                  static_cast<int64_t>(t.shape.size()));
+  int64_t flat = t.offset;
   size_t d = 0;
   for (int64_t i : idx) {
     STISAN_CHECK_GE(i, 0);
-    STISAN_CHECK_LT(i, shape[d]);
-    flat = flat * shape[d] + i;
+    STISAN_CHECK_LT(i, t.shape[d]);
+    flat += i * t.strides[d];
     ++d;
   }
   return flat;
+}
+
+// Copies the view's elements in logical row-major order into `out`.
+void GatherToDense(const TensorImpl& t, float* out) {
+  const int64_t n = t.numel();
+  if (n == 0) return;
+  if (t.IsContiguous()) {
+    std::memcpy(out, t.Data(), sizeof(float) * static_cast<size_t>(n));
+    return;
+  }
+  const size_t rank = t.shape.size();
+  const float* base = t.storage->data.data();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t ofs = t.offset;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    out[flat] = base[ofs];
+    for (size_t d = rank; d-- > 0;) {
+      idx[d]++;
+      ofs += t.strides[d];
+      if (idx[d] < t.shape[d]) break;
+      ofs -= t.strides[d] * t.shape[d];
+      idx[d] = 0;
+    }
+  }
 }
 
 }  // namespace
@@ -83,7 +129,7 @@ Tensor Tensor::Ones(Shape shape, bool requires_grad) {
 
 Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
   auto impl = MakeImpl(std::move(shape), requires_grad);
-  for (auto& v : impl->data) v = value;
+  for (auto& v : impl->storage->data) v = value;
   return Tensor(std::move(impl));
 }
 
@@ -91,15 +137,17 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values,
                           bool requires_grad) {
   STISAN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
   auto impl = std::make_shared<internal::TensorImpl>();
+  impl->strides = ContiguousStrides(shape);
   impl->shape = std::move(shape);
-  impl->data = std::move(values);
+  impl->storage = std::make_shared<internal::Storage>();
+  impl->storage->data = std::move(values);
   impl->requires_grad = requires_grad && internal::GradEnabled();
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
   auto impl = MakeImpl(std::move(shape), requires_grad);
-  for (auto& v : impl->data)
+  for (auto& v : impl->storage->data)
     v = static_cast<float>(rng.Normal(0.0, stddev));
   return Tensor(std::move(impl));
 }
@@ -107,7 +155,7 @@ Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
 Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi,
                     bool requires_grad) {
   auto impl = MakeImpl(std::move(shape), requires_grad);
-  for (auto& v : impl->data) v = rng.UniformFloat(lo, hi);
+  for (auto& v : impl->storage->data) v = rng.UniformFloat(lo, hi);
   return Tensor(std::move(impl));
 }
 
@@ -147,49 +195,76 @@ bool Tensor::requires_grad() const {
   return impl_->requires_grad;
 }
 
+const std::vector<int64_t>& Tensor::strides() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->strides;
+}
+
+bool Tensor::IsContiguous() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->IsContiguous();
+}
+
 float* Tensor::data() {
   STISAN_CHECK(impl_ != nullptr);
-  return impl_->data.data();
+  STISAN_CHECK_MSG(impl_->IsContiguous(),
+                   "data() requires a contiguous tensor; call Contiguous()");
+  return impl_->Data();
 }
 
 const float* Tensor::data() const {
   STISAN_CHECK(impl_ != nullptr);
-  return impl_->data.data();
+  STISAN_CHECK_MSG(impl_->IsContiguous(),
+                   "data() requires a contiguous tensor; call Contiguous()");
+  return impl_->Data();
+}
+
+const float* Tensor::storage_data() const {
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->storage->data.data();
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return data()[FlatIndex(shape(), idx)];
+  STISAN_CHECK(impl_ != nullptr);
+  return impl_->storage->data[static_cast<size_t>(StridedIndex(*impl_, idx))];
 }
 
 void Tensor::set(std::initializer_list<int64_t> idx, float v) {
-  data()[FlatIndex(shape(), idx)] = v;
+  STISAN_CHECK(impl_ != nullptr);
+  impl_->storage->data[static_cast<size_t>(StridedIndex(*impl_, idx))] = v;
 }
 
 std::vector<float> Tensor::ToVector() const {
   STISAN_CHECK(impl_ != nullptr);
-  return impl_->data;
+  std::vector<float> out(static_cast<size_t>(numel()));
+  GatherToDense(*impl_, out.data());
+  return out;
 }
 
 const float* Tensor::grad_data() const {
   STISAN_CHECK(impl_ != nullptr);
   STISAN_CHECK_MSG(has_grad(), "gradient not materialised; run Backward()");
-  return impl_->grad.data();
+  STISAN_CHECK_MSG(impl_->IsContiguous(),
+                   "grad_data() requires a contiguous tensor");
+  return impl_->Grad();
 }
 
 float* Tensor::mutable_grad_data() {
   STISAN_CHECK(impl_ != nullptr);
+  STISAN_CHECK_MSG(impl_->IsContiguous(),
+                   "mutable_grad_data() requires a contiguous tensor");
   impl_->EnsureGrad();
-  return impl_->grad.data();
+  return impl_->Grad();
 }
 
 bool Tensor::has_grad() const {
   STISAN_CHECK(impl_ != nullptr);
-  return impl_->grad.size() == impl_->data.size();
+  return impl_->storage->has_grad();
 }
 
 void Tensor::ZeroGrad() {
   STISAN_CHECK(impl_ != nullptr);
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  impl_->storage->grad.assign(impl_->storage->data.size(), 0.0f);
 }
 
 void Tensor::Backward() {
@@ -221,10 +296,10 @@ void Tensor::Backward() {
   }
 
   impl_->EnsureGrad();
-  impl_->grad[0] = 1.0f;
+  impl_->storage->grad[static_cast<size_t>(impl_->offset)] = 1.0f;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::TensorImpl* node = *it;
-    if (node->backward_fn && node->grad.size() == node->data.size()) {
+    if (node->backward_fn && node->storage->has_grad()) {
       node->backward_fn(*node);
     }
   }
@@ -233,8 +308,11 @@ void Tensor::Backward() {
 Tensor Tensor::Detach() const {
   STISAN_CHECK(impl_ != nullptr);
   auto impl = std::make_shared<internal::TensorImpl>();
+  impl->strides = ContiguousStrides(impl_->shape);
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->storage = std::make_shared<internal::Storage>();
+  impl->storage->data.resize(static_cast<size_t>(impl_->numel()));
+  GatherToDense(*impl_, impl->storage->data.data());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
@@ -250,10 +328,11 @@ std::string Tensor::ToString() const {
   std::ostringstream os;
   os << "Tensor" << ShapeToString(shape());
   if (numel() <= 16) {
+    const std::vector<float> values = ToVector();
     os << " {";
-    for (int64_t i = 0; i < numel(); ++i) {
+    for (size_t i = 0; i < values.size(); ++i) {
       if (i) os << ", ";
-      os << impl_->data[static_cast<size_t>(i)];
+      os << values[i];
     }
     os << "}";
   }

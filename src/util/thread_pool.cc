@@ -61,10 +61,17 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn) {
-  if (n <= 0) return;
+  if (n <= 0) return;  // nothing to do; never touch the pool
   // Chunk to limit queue churn.
   const int64_t chunks =
       std::min<int64_t>(n, pool.num_threads() * 4);
+  if (chunks <= 1 || pool.num_threads() <= 1) {
+    // Degenerate single-chunk case: run inline. Submitting one task would
+    // only add queue/wakeup latency, and calling Wait() from inside a
+    // worker of a single-threaded pool would deadlock.
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const int64_t per_chunk = (n + chunks - 1) / chunks;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * per_chunk;

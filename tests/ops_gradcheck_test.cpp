@@ -234,5 +234,72 @@ TEST(GradCheck, AttentionShapedComposite) {
       x, wq, wk, wv);
 }
 
+// ---- Chained-view graphs ----------------------------------------------------
+// Shape ops are zero-copy views; these check that gradients route correctly
+// through view chains and through Contiguous()'s scatter-accumulate.
+
+TEST(GradCheck, SliceOfReshape) {
+  // Inner-dim slice of a reshape: the slice is non-contiguous, so downstream
+  // ops materialise it and the backward scatters into the base buffer.
+  Tensor a = RandomInput({2, 6}, 50);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor r = ops::Reshape(a, {3, 4});
+        Tensor s = ops::Slice(r, 1, 1, 3);
+        return ops::Sum(ops::Square(s));
+      },
+      a);
+}
+
+TEST(GradCheck, TransposeThenMatMul) {
+  // Exercises MatMul's fused transposed-right-operand path (the view is
+  // consumed without materialisation).
+  Tensor a = RandomInput({3, 4}, 51, 0.5f);
+  Tensor b = RandomInput({5, 4}, 52, 0.5f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        return ops::Sum(ops::Square(ops::MatMul(a, ops::TransposeLast2(b))));
+      },
+      a, b);
+}
+
+TEST(GradCheck, TransposeOfViewThenMatMul) {
+  // Transpose of a non-contiguous slice: falls off the fused path and goes
+  // through Contiguous() instead.
+  Tensor a = RandomInput({2, 3}, 53, 0.5f);
+  Tensor b = RandomInput({4, 5}, 54, 0.5f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor bs = ops::Slice(b, 1, 1, 4);  // [4,3], non-contiguous
+        return ops::Sum(ops::Square(ops::MatMul(a, ops::TransposeLast2(bs))));
+      },
+      a, b);
+}
+
+TEST(GradCheck, OverlappingSlicesAccumulate) {
+  // Two overlapping views write grads into one base buffer.
+  Tensor a = RandomInput({5, 3}, 55);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor lo = ops::Slice(a, 0, 0, 3);
+        Tensor hi = ops::Slice(a, 0, 2, 5);
+        return ops::Sum(ops::Square(lo * hi));
+      },
+      a);
+}
+
+TEST(GradCheck, InnerSliceChain) {
+  // slice(transpose(slice(x))): a deep chain of strided views.
+  Tensor a = RandomInput({4, 6}, 56);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        Tensor s1 = ops::Slice(a, 1, 1, 5);        // [4,4] strided
+        Tensor t = ops::TransposeLast2(s1);        // [4,4] strided
+        Tensor s2 = ops::Slice(t, 0, 1, 3);        // [2,4] strided
+        return ops::Sum(ops::Square(s2));
+      },
+      a);
+}
+
 }  // namespace
 }  // namespace stisan

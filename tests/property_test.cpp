@@ -67,11 +67,14 @@ TEST_P(MatMulSizeTest, TransposeReversesProduct) {
   Rng rng(n + 7);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
-  // (A B)^T == B^T A^T
-  Tensor lhs = ops::TransposeLast2(ops::MatMul(a, b));
-  Tensor rhs = ops::MatMul(ops::TransposeLast2(b), ops::TransposeLast2(a));
-  for (int64_t i = 0; i < lhs.numel(); ++i) {
-    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4f);
+  // (A B)^T == B^T A^T. TransposeLast2 returns strided views, so compare
+  // through the stride-aware ToVector() gather.
+  const std::vector<float> lhs =
+      ops::TransposeLast2(ops::MatMul(a, b)).ToVector();
+  const std::vector<float> rhs =
+      ops::MatMul(ops::TransposeLast2(b), ops::TransposeLast2(a)).ToVector();
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-4f);
   }
 }
 

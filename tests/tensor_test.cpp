@@ -75,6 +75,88 @@ TEST(TensorTest, CopyIsShallow) {
   EXPECT_EQ(a.data()[0], 3.0f);
 }
 
+// ---- Zero-copy views -----------------------------------------------------------
+
+TEST(TensorView, ReshapeSharesStorage) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = ops::Reshape(a, {3, 2});
+  EXPECT_EQ(r.storage_data(), a.storage_data());
+  EXPECT_TRUE(r.IsContiguous());
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+}
+
+TEST(TensorView, SliceDim0IsContiguousOffsetView) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = ops::Slice(a, 0, 1, 3);
+  EXPECT_EQ(s.storage_data(), a.storage_data());
+  EXPECT_TRUE(s.IsContiguous());
+  EXPECT_EQ(s.data(), a.data() + 2);  // offset past the first row
+  EXPECT_EQ(s.at({0, 0}), 3.0f);
+}
+
+TEST(TensorView, SliceInnerDimIsNonContiguousView) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = ops::Slice(a, 1, 1, 3);
+  EXPECT_EQ(s.storage_data(), a.storage_data());
+  EXPECT_FALSE(s.IsContiguous());
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{2, 3, 5, 6}));
+}
+
+TEST(TensorView, TransposeSharesStorageAndSwapsStrides) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.storage_data(), a.storage_data());
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.strides(), (std::vector<int64_t>{1, 3}));
+  EXPECT_FALSE(t.IsContiguous());
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TensorView, ContiguousOnContiguousIsIdentity) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor c = a.Contiguous();
+  EXPECT_EQ(c.storage_data(), a.storage_data());
+  // A non-contiguous view materialises into fresh storage.
+  Tensor t = ops::TransposeLast2(a).Contiguous();
+  EXPECT_NE(t.storage_data(), a.storage_data());
+  EXPECT_TRUE(t.IsContiguous());
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(TensorView, ViewReflectsBaseMutation) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor t = ops::TransposeLast2(a);
+  a.set({0, 1}, 9.0f);
+  EXPECT_EQ(t.at({1, 0}), 9.0f);
+}
+
+TEST(TensorView, ChainedViewsShareStorage) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor v = ops::Slice(ops::TransposeLast2(ops::Reshape(a, {2, 4})), 0, 1, 3);
+  EXPECT_EQ(v.storage_data(), a.storage_data());
+  EXPECT_EQ(v.shape(), (Shape{2, 2}));
+  EXPECT_EQ(v.ToVector(), (std::vector<float>{2, 6, 3, 7}));
+}
+
+TEST(TensorView, OverlappingSliceGradsAccumulateInBase) {
+  // loss = sum(a[0:3]) + sum(a[1:4]) -> da = {1, 2, 2, 1}: the two views
+  // write into the same storage-wide grad buffer.
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor loss = ops::Sum(ops::Slice(a, 0, 0, 3)) + ops::Sum(ops::Slice(a, 0, 1, 4));
+  loss.Backward();
+  const float* g = a.grad_data();
+  EXPECT_EQ(g[0], 1.0f);
+  EXPECT_EQ(g[1], 2.0f);
+  EXPECT_EQ(g[2], 2.0f);
+  EXPECT_EQ(g[3], 1.0f);
+}
+
+TEST(TensorView, DataOnNonContiguousViewIsRejected) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_DEATH((void)t.data(), "contiguous");
+}
+
 // ---- Forward values ------------------------------------------------------------
 
 TEST(OpsForward, AddSameShape) {

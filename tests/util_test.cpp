@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace stisan {
 namespace {
@@ -215,6 +218,54 @@ TEST(StringTest, ParseInt64) {
 TEST(StringTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+// ---- ParallelFor chunking ----------------------------------------------------
+
+TEST(ParallelForTest, ZeroIterationsNeverTouchesPool) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(pool, 0, [&called](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelFor(pool, -5, [&called](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleIterationRunsInline) {
+  // n=1 collapses to one chunk; it must execute on the calling thread, not
+  // through the queue (avoids wakeup latency and, for a one-thread pool
+  // driven from a worker, deadlock).
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  ParallelFor(pool, 1, [&ran_on](int64_t) {
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ParallelForTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int64_t> sum{0};
+  bool off_thread = false;
+  ParallelFor(pool, 100, [&](int64_t i) {
+    if (std::this_thread::get_id() != caller) off_thread = true;
+    sum += i;
+  });
+  EXPECT_FALSE(off_thread);
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  // Sizes around chunk boundaries: chunks = min(n, threads*4) = min(n, 16).
+  for (int64_t n : {1, 2, 15, 16, 17, 257}) {
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    for (auto& h : hits) h = 0;
+    ParallelFor(pool, n, [&hits](int64_t i) { hits[i]++; });
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
 }
 
 }  // namespace
