@@ -101,12 +101,10 @@ inline eval::MetricAccumulator FitAndEvaluate(
   Stopwatch watch;
   model.Fit(prep.dataset, prep.split.train);
   if (train_seconds != nullptr) *train_seconds = watch.ElapsedSeconds();
-  return eval::Evaluate(
-      [&model](const data::EvalInstance& inst,
-               const std::vector<int64_t>& cands) {
-        return model.Score(inst, cands);
-      },
-      prep.split.test, *prep.candidates, {});
+  // Models are BatchScorers: the batched pipeline scores padded batches in
+  // one forward and is bit-identical to per-instance scoring.
+  return eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                        prep.split.test, *prep.candidates, {});
 }
 
 /// Prints one metric row: name, HR@5, NDCG@5, HR@10, NDCG@10.

@@ -125,6 +125,56 @@ Tensor StisanModel::Encode(const std::vector<int64_t>& pois,
   return encoder_->Forward(e, bias, mask, rng);
 }
 
+Tensor StisanModel::EncodeBatch(
+    const std::vector<const data::EvalInstance*>& instances, Rng& rng) const {
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+
+  // One embedding lookup over the flattened, deduplicated batch: the
+  // per-row gathers are identical to the per-instance Embed calls, and
+  // overlapping histories (shared users, padding) embed once.
+  std::vector<int64_t> flat;
+  flat.reserve(static_cast<size_t>(bsz * n));
+  for (const auto* inst : instances) {
+    STISAN_CHECK_EQ(static_cast<int64_t>(inst->poi.size()), n);
+    flat.insert(flat.end(), inst->poi.begin(), inst->poi.end());
+  }
+  const auto [unique, local] = models::DedupIds(flat);
+  Tensor e = ops::Reshape(
+      ops::EmbeddingLookup(Embed(unique), local, /*padding_idx=*/-1),
+      {bsz, n, dim_});
+
+  // Positional encodings are per-instance (TAPE depends on timestamps).
+  std::vector<Tensor> pe(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto* inst = instances[static_cast<size_t>(b)];
+    pe[static_cast<size_t>(b)] =
+        options_.use_tape
+            ? nn::SinusoidalEncoding(
+                  TimeAwarePositions(inst->t, inst->first_real), dim_)
+            : nn::VanillaPositionalEncoding(n, dim_);
+  }
+  e = e + ops::Stack0(pe);
+  e = embed_dropout_.Forward(e, rng);
+
+  Tensor bias;
+  if (options_.attention_mode != AttentionMode::kVanilla) {
+    std::vector<Tensor> biases(static_cast<size_t>(bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+      const auto* inst = instances[static_cast<size_t>(b)];
+      biases[static_cast<size_t>(b)] =
+          RelationBias(inst->poi, inst->t, inst->first_real);
+    }
+    bias = ops::Stack0(biases);
+  }
+  std::vector<Tensor> masks(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    masks[static_cast<size_t>(b)] =
+        BuildPaddedCausalMask(n, instances[static_cast<size_t>(b)]->first_real);
+  }
+  return encoder_->Forward(e, bias, ops::Stack0(masks), rng);
+}
+
 Tensor StisanModel::Preferences(const Tensor& candidate_emb,
                                 const Tensor& encoder_out,
                                 const std::vector<int64_t>& step_of_row,
@@ -251,6 +301,60 @@ std::vector<float> StisanModel::Score(const data::EvalInstance& instance,
   std::vector<int64_t> step_of_row(candidates.size(), n - 1);
   Tensor s = Preferences(c, f, step_of_row, instance.first_real);
   return ops::MulScalar(MatchScores(s, c), score_scale_).ToVector();
+}
+
+std::vector<std::vector<float>> StisanModel::ScoreBatch(
+    const std::vector<const data::EvalInstance*>& instances,
+    const std::vector<std::vector<int64_t>>& candidates) {
+  NoGradGuard no_grad;
+  SetTraining(false);
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  STISAN_CHECK_EQ(candidates.size(), instances.size());
+  if (bsz == 0) return {};
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+
+  Tensor f = EncodeBatch(instances, rng_);  // [B, n, d]
+
+  // Candidate lists are padded to the widest list with the padding POI
+  // (zero embedding row); padded rows are dropped after scoring.
+  int64_t m = 0;
+  for (const auto& cand : candidates) {
+    m = std::max(m, static_cast<int64_t>(cand.size()));
+  }
+  std::vector<int64_t> flat;
+  flat.reserve(static_cast<size_t>(bsz * m));
+  std::vector<int64_t> first_real(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto& cand = candidates[static_cast<size_t>(b)];
+    flat.insert(flat.end(), cand.begin(), cand.end());
+    flat.resize(static_cast<size_t>((b + 1) * m), data::kPaddingPoi);
+    first_real[static_cast<size_t>(b)] =
+        instances[static_cast<size_t>(b)]->first_real;
+  }
+  // Candidate pools of nearby targets overlap heavily: embed each unique
+  // POI once and gather rows back into batch order (bit-identical, since
+  // Embed is row-wise).
+  const auto [unique, local] = models::DedupIds(flat);
+  Tensor c = ops::Reshape(
+      ops::EmbeddingLookup(Embed(unique), local, /*padding_idx=*/-1),
+      {bsz, m, dim_});
+
+  // Preference vectors: TAAD over each instance's encoder states, or (when
+  // TAAD is ablated) the final-step state broadcast across candidates —
+  // the batched equivalents of Preferences at step n-1.
+  Tensor s = options_.use_taad ? TaadDecodeBatch(c, f, first_real)
+                               : ops::Slice(f, 1, n - 1, n);
+  Tensor scores =
+      ops::MulScalar(MatchScores(s, c), score_scale_);  // [B, m]
+  const std::vector<float> values = scores.ToVector();
+
+  std::vector<std::vector<float>> out(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto& cand = candidates[static_cast<size_t>(b)];
+    const float* row = values.data() + b * m;
+    out[static_cast<size_t>(b)].assign(row, row + cand.size());
+  }
+  return out;
 }
 
 Tensor StisanModel::AverageAttentionMap(const std::vector<int64_t>& pois,

@@ -64,6 +64,13 @@ class StisanModel : public models::SequentialRecommender, public nn::Module {
   std::vector<float> Score(const data::EvalInstance& instance,
                            const std::vector<int64_t>& candidates) override;
 
+  /// Batched scoring: one padded forward pass over the whole batch (shared
+  /// padded length, per-instance relation bias / mask / TAPE stacked along
+  /// a leading batch dim). Per-instance scores match Score exactly.
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override;
+
   /// Mean training loss of the most recent epoch (for tests / logging).
   float last_epoch_loss() const { return last_epoch_loss_; }
 
@@ -87,6 +94,11 @@ class StisanModel : public models::SequentialRecommender, public nn::Module {
   Tensor Encode(const std::vector<int64_t>& pois,
                 const std::vector<double>& timestamps, int64_t first_real,
                 Rng& rng) const;
+
+  /// Batched encoder pass over instances sharing a padded length n:
+  /// returns [B, n, d]; slice b equals Encode on instance b.
+  Tensor EncodeBatch(const std::vector<const data::EvalInstance*>& instances,
+                     Rng& rng) const;
 
   /// Relation bias (softmax-scaled R) or undefined in kVanilla mode.
   Tensor RelationBias(const std::vector<int64_t>& pois,

@@ -27,8 +27,20 @@ Tensor TaadDecode(const Tensor& candidates, const Tensor& encoder_out,
                   const std::vector<int64_t>& step_of_row,
                   int64_t first_real);
 
+/// Batched TAAD for evaluation: every candidate row decodes at the final
+/// step n-1 of its own sequence (the eval protocol's "predict the next
+/// visit" query).
+///
+/// candidates: [B, M, d]; encoder_out: [B, n, d]; first_real[b] = first
+/// non-padding index of sequence b (keys first_real[b]..n-1 are visible,
+/// exactly the rows TaadDecode exposes at step n-1). Returns [B, M, d];
+/// each batch slice matches the per-instance TaadDecode output.
+Tensor TaadDecodeBatch(const Tensor& candidates, const Tensor& encoder_out,
+                       const std::vector<int64_t>& first_real);
+
 /// Matching function (paper eq. 11): per-row inner product
-/// y_r = <S_r, C_r>. Returns [M].
+/// y_r = <S_r, C_r>. Accepts [M, d] (returns [M]) or batched [B, M, d]
+/// (returns [B, M]); `preferences` may broadcast (e.g. [B, 1, d]).
 Tensor MatchScores(const Tensor& preferences, const Tensor& candidates);
 
 }  // namespace stisan::core

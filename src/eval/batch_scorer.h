@@ -1,0 +1,35 @@
+// Batched scoring interface for the evaluation pipeline.
+//
+// A BatchScorer scores a whole batch of evaluation instances against their
+// candidate lists in one call, letting models run a single padded forward
+// pass (one op graph per layer instead of one per instance). The evaluator
+// streams fixed-size batches through it; see eval::Evaluate.
+//
+// The interface is header-only so implementers (src/models, src/core) can
+// inherit it without adding a library dependency on stisan_eval.
+
+#pragma once
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace stisan::eval {
+
+/// Scores batches of instances. Implementations must be deterministic: the
+/// scores for an instance may not depend on the other instances in its
+/// batch, so any batch size yields the same per-instance scores.
+class BatchScorer {
+ public:
+  virtual ~BatchScorer() = default;
+
+  /// Scores candidates[b] for instances[b]. Returns one score vector per
+  /// instance, each the same length as its candidate list (higher = more
+  /// likely next POI). Instances within a batch share the padded sequence
+  /// length; candidate lists may differ in length.
+  virtual std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) = 0;
+};
+
+}  // namespace stisan::eval

@@ -1,8 +1,11 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace stisan::eval {
 namespace {
@@ -11,6 +14,25 @@ std::vector<geo::GeoPoint> RealPoiCoords(const data::Dataset& dataset) {
   // Index id = poi - 1 (skips the padding POI 0).
   return {dataset.poi_coords.begin() + 1, dataset.poi_coords.end()};
 }
+
+/// Adapts a single-instance Scorer to the batched interface.
+class ScorerAdapter : public BatchScorer {
+ public:
+  explicit ScorerAdapter(const Scorer& scorer) : scorer_(scorer) {}
+
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override {
+    std::vector<std::vector<float>> out(instances.size());
+    for (size_t i = 0; i < instances.size(); ++i) {
+      out[i] = scorer_(*instances[i], candidates[i]);
+    }
+    return out;
+  }
+
+ private:
+  const Scorer& scorer_;
+};
 
 }  // namespace
 
@@ -33,18 +55,54 @@ std::vector<int64_t> CandidateGenerator::Candidates(
   return out;
 }
 
-MetricAccumulator Evaluate(const Scorer& scorer,
+MetricAccumulator Evaluate(BatchScorer& scorer,
                            const std::vector<data::EvalInstance>& test,
                            const CandidateGenerator& candidates,
                            const EvalOptions& options) {
   MetricAccumulator acc(options.cutoffs);
-  for (const auto& instance : test) {
-    const auto cand = candidates.Candidates(instance, options.num_negatives);
-    const auto scores = scorer(instance, cand);
-    STISAN_CHECK_EQ(scores.size(), cand.size());
-    acc.Add(RankOfTarget(scores, /*target_index=*/0));
+  const int64_t total = static_cast<int64_t>(test.size());
+  const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
+  ThreadPool& pool = kernels::GlobalPool();
+
+  for (int64_t begin = 0; begin < total; begin += batch_size) {
+    const int64_t size = std::min(batch_size, total - begin);
+
+    // Candidate generation is pure per instance, so each worker fills its
+    // own slot and the scorer sees the same lists at any thread count.
+    std::vector<std::vector<int64_t>> cand(static_cast<size_t>(size));
+    ParallelFor(pool, size, [&](int64_t i) {
+      cand[static_cast<size_t>(i)] =
+          candidates.Candidates(test[static_cast<size_t>(begin + i)],
+                                options.num_negatives);
+    });
+
+    std::vector<const data::EvalInstance*> batch(static_cast<size_t>(size));
+    for (int64_t i = 0; i < size; ++i) {
+      batch[static_cast<size_t>(i)] = &test[static_cast<size_t>(begin + i)];
+    }
+    const auto scores = scorer.ScoreBatch(batch, cand);
+    STISAN_CHECK_EQ(static_cast<int64_t>(scores.size()), size);
+
+    // Per-shard accumulation in instance order; Merge replays ranks, so the
+    // final accumulator state is independent of the batch partitioning.
+    MetricAccumulator shard(options.cutoffs);
+    for (int64_t i = 0; i < size; ++i) {
+      STISAN_CHECK_EQ(scores[static_cast<size_t>(i)].size(),
+                      cand[static_cast<size_t>(i)].size());
+      shard.Add(RankOfTarget(scores[static_cast<size_t>(i)],
+                             /*target_index=*/0));
+    }
+    acc.Merge(shard);
   }
   return acc;
+}
+
+MetricAccumulator Evaluate(const Scorer& scorer,
+                           const std::vector<data::EvalInstance>& test,
+                           const CandidateGenerator& candidates,
+                           const EvalOptions& options) {
+  ScorerAdapter adapter(scorer);
+  return Evaluate(adapter, test, candidates, options);
 }
 
 }  // namespace stisan::eval

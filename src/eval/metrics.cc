@@ -50,13 +50,13 @@ double MetricAccumulator::MeanReciprocalRank() const {
 
 void MetricAccumulator::Merge(const MetricAccumulator& other) {
   STISAN_CHECK(cutoffs_ == other.cutoffs_);
-  for (size_t i = 0; i < cutoffs_.size(); ++i) {
-    hr_sums_[i] += other.hr_sums_[i];
-    ndcg_sums_[i] += other.ndcg_sums_[i];
-  }
-  rr_sum_ += other.rr_sum_;
-  count_ += other.count_;
-  ranks_.insert(ranks_.end(), other.ranks_.begin(), other.ranks_.end());
+  // Replay the other side's ranks through Add rather than adding partial
+  // sums: floating-point addition is not associative, so summing shard
+  // subtotals would make the result depend on how instances were batched.
+  // Replaying keeps the running sums in exact instance order — merging any
+  // shard partitioning is bit-identical to one sequential accumulation.
+  ranks_.reserve(ranks_.size() + other.ranks_.size());
+  for (int64_t rank : other.ranks_) Add(rank);
 }
 
 std::map<std::string, double> MetricAccumulator::Means() const {

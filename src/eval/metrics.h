@@ -48,7 +48,10 @@ class MetricAccumulator {
   /// Per-instance target ranks in Add() order (for bootstrap analyses).
   const std::vector<int64_t>& ranks() const { return ranks_; }
 
-  /// Merges another accumulator (same cutoffs) into this one.
+  /// Merges another accumulator (same cutoffs) into this one by replaying
+  /// its ranks in order. Merging shards in instance order therefore yields
+  /// a state bit-identical to one sequential accumulation, regardless of
+  /// how the instances were partitioned.
   void Merge(const MetricAccumulator& other);
 
  private:

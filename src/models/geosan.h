@@ -26,6 +26,11 @@ class GeoSanModel : public SequentialRecommender {
                            const std::vector<int64_t>& candidates) override {
     return inner_.Score(instance, candidates);
   }
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override {
+    return inner_.ScoreBatch(instances, candidates);
+  }
 
   float last_epoch_loss() const { return inner_.last_epoch_loss(); }
 

@@ -159,4 +159,77 @@ std::vector<float> NeuralSeqModel::Score(
   return ops::SumDim(s * c, 1).ToVector();
 }
 
+Tensor NeuralSeqModel::EncodeSourceBatch(
+    const std::vector<const data::EvalInstance*>& instances, Rng& rng) {
+  std::vector<Tensor> parts(instances.size());
+  for (size_t b = 0; b < instances.size(); ++b) {
+    const auto* inst = instances[b];
+    parts[b] =
+        EncodeSource(inst->poi, inst->t, inst->first_real, inst->user, rng);
+  }
+  return ops::Stack0(parts);
+}
+
+std::vector<std::vector<float>> NeuralSeqModel::ScoreBatch(
+    const std::vector<const data::EvalInstance*>& instances,
+    const std::vector<std::vector<int64_t>>& candidates) {
+  NoGradGuard no_grad;
+  SetTraining(false);
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  STISAN_CHECK_EQ(candidates.size(), instances.size());
+  if (bsz == 0) return {};
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+  for (const auto* inst : instances) {
+    if (static_cast<int64_t>(inst->poi.size()) != n) {
+      return SequentialRecommender::ScoreBatch(instances, candidates);
+    }
+  }
+  const int64_t d = options_.dim;
+
+  Tensor f = EncodeSourceBatch(instances, rng_);  // [B, n, d]
+
+  // One candidate-embedding lookup over every list, padded to the widest
+  // with the padding POI (zero row, dropped after scoring).
+  int64_t m = 0;
+  for (const auto& cand : candidates) {
+    m = std::max(m, static_cast<int64_t>(cand.size()));
+  }
+  std::vector<int64_t> flat;
+  flat.reserve(static_cast<size_t>(bsz * m));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto& cand = candidates[static_cast<size_t>(b)];
+    flat.insert(flat.end(), cand.begin(), cand.end());
+    flat.resize(static_cast<size_t>((b + 1) * m), data::kPaddingPoi);
+  }
+  // Overlapping candidate pools embed once; the gather back into batch
+  // order is row-wise and therefore bit-identical to embedding `flat`.
+  const auto [unique, local] = DedupIds(flat);
+  Tensor c = ops::Reshape(
+      ops::EmbeddingLookup(CandidateEmbedding(unique), local,
+                           /*padding_idx=*/-1),
+      {bsz, m, d});
+
+  // Preference decoding dispatches through the per-instance virtual so
+  // subclass decoders (STAN's recall attention) stay correct; the batch
+  // slices are zero-copy views. Every row queries the final step n-1.
+  std::vector<int64_t> step_of_row(static_cast<size_t>(m), n - 1);
+  std::vector<Tensor> prefs(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    Tensor cb = ops::Reshape(ops::Slice(c, 0, b, b + 1), {m, d});
+    Tensor fb = ops::Reshape(ops::Slice(f, 0, b, b + 1), {n, d});
+    prefs[static_cast<size_t>(b)] = Preferences(
+        cb, fb, step_of_row, instances[static_cast<size_t>(b)]->first_real);
+  }
+  Tensor s = ops::Stack0(prefs);  // [B, m, d]
+  const std::vector<float> values = ops::SumDim(s * c, -1).ToVector();
+
+  std::vector<std::vector<float>> out(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto& cand = candidates[static_cast<size_t>(b)];
+    const float* row = values.data() + b * m;
+    out[static_cast<size_t>(b)].assign(row, row + cand.size());
+  }
+  return out;
+}
+
 }  // namespace stisan::models

@@ -36,6 +36,15 @@ class NeuralSeqModel : public SequentialRecommender, public nn::Module {
   std::vector<float> Score(const data::EvalInstance& instance,
                            const std::vector<int64_t>& candidates) override;
 
+  /// Batched scoring: encodes the whole batch via EncodeSourceBatch, embeds
+  /// all candidate lists in one lookup (padded to the widest list), and
+  /// decodes preferences per instance. Per-instance scores match Score
+  /// exactly. Falls back to per-instance Score when the instances do not
+  /// share a padded sequence length.
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override;
+
   float last_epoch_loss() const { return last_epoch_loss_; }
 
  protected:
@@ -44,6 +53,13 @@ class NeuralSeqModel : public SequentialRecommender, public nn::Module {
                               const std::vector<double>& timestamps,
                               int64_t first_real, int64_t user,
                               Rng& rng) = 0;
+
+  /// Encodes a batch of instances sharing a padded length n into
+  /// [B, n, dim]. The default stacks per-instance EncodeSource outputs;
+  /// attention-based subclasses override it with one padded forward
+  /// through their (rank-3 capable) encoder stack.
+  virtual Tensor EncodeSourceBatch(
+      const std::vector<const data::EvalInstance*>& instances, Rng& rng);
 
   /// Candidate representations [M, dim]; defaults to the item embedding.
   virtual Tensor CandidateEmbedding(const std::vector<int64_t>& candidates);

@@ -34,6 +34,19 @@ core::IaabOptions BlockOptions(const SanOptions& options,
   return block;
 }
 
+// Flattens the instances' POI windows (shared padded length n) into one id
+// list for a single batched embedding lookup.
+std::vector<int64_t> FlatPois(
+    const std::vector<const data::EvalInstance*>& instances, int64_t n) {
+  std::vector<int64_t> flat;
+  flat.reserve(instances.size() * static_cast<size_t>(n));
+  for (const auto* inst : instances) {
+    STISAN_CHECK_EQ(static_cast<int64_t>(inst->poi.size()), n);
+    flat.insert(flat.end(), inst->poi.begin(), inst->poi.end());
+  }
+  return flat;
+}
+
 }  // namespace
 
 // ---- SASRec ------------------------------------------------------------------
@@ -84,6 +97,49 @@ Tensor SasRecModel::EncodeSource(const std::vector<int64_t>& pois,
   return encoder_->Forward(e, bias, mask, rng);
 }
 
+Tensor SasRecModel::EncodeSourceBatch(
+    const std::vector<const data::EvalInstance*>& instances, Rng& rng) {
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+  const int64_t d = san_options_.base.dim;
+  Tensor e =
+      ops::Reshape(item_embedding_.Forward(FlatPois(instances, n)),
+                   {bsz, n, d});
+  if (extensions_.use_tape) {
+    e = ops::MulScalar(e, std::sqrt(float(d)));
+    std::vector<Tensor> pe(static_cast<size_t>(bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+      const auto* inst = instances[static_cast<size_t>(b)];
+      pe[static_cast<size_t>(b)] = nn::SinusoidalEncoding(
+          core::TimeAwarePositions(inst->t, inst->first_real), d);
+    }
+    e = e + ops::Stack0(pe);
+  } else {
+    // The learned positions are shared: [n, d] broadcasts over the batch.
+    e = e + positions_.Forward(n);
+  }
+  e = dropout_.Forward(e, rng);
+  Tensor bias;
+  if (extensions_.relation.has_value()) {
+    std::vector<Tensor> biases(static_cast<size_t>(bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+      const auto* inst = instances[static_cast<size_t>(b)];
+      Tensor raw = core::BuildRelationMatrix(
+          inst->poi, inst->t, WindowCoords(*dataset_, inst->poi),
+          inst->first_real, *extensions_.relation);
+      biases[static_cast<size_t>(b)] =
+          core::SoftmaxScaleRelation(raw, inst->first_real);
+    }
+    bias = ops::Stack0(biases);
+  }
+  std::vector<Tensor> masks(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    masks[static_cast<size_t>(b)] = core::BuildPaddedCausalMask(
+        n, instances[static_cast<size_t>(b)]->first_real);
+  }
+  return encoder_->Forward(e, bias, ops::Stack0(masks), rng);
+}
+
 // ---- TiSASRec ----------------------------------------------------------------
 
 TiSasRecModel::TiSasRecModel(const data::Dataset& dataset,
@@ -132,6 +188,36 @@ Tensor TiSasRecModel::EncodeSource(const std::vector<int64_t>& pois,
       ops::EmbeddingLookup(bucket_bias_, bucket_ids), {n, n});
   Tensor mask = core::BuildPaddedCausalMask(n, first_real);
   return encoder_->Forward(e, bias, mask, rng);
+}
+
+Tensor TiSasRecModel::EncodeSourceBatch(
+    const std::vector<const data::EvalInstance*>& instances, Rng& rng) {
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+  const int64_t d = san_options_.base.dim;
+  Tensor e =
+      ops::Reshape(item_embedding_.Forward(FlatPois(instances, n)),
+                   {bsz, n, d}) +
+      positions_.Forward(n);
+  e = dropout_.Forward(e, rng);
+
+  std::vector<Tensor> biases(static_cast<size_t>(bsz));
+  std::vector<Tensor> masks(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto* inst = instances[static_cast<size_t>(b)];
+    std::vector<int64_t> bucket_ids(static_cast<size_t>(n * n), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j <= i; ++j) {
+        bucket_ids[static_cast<size_t>(i * n + j)] = Bucket(
+            std::fabs(inst->t[size_t(i)] - inst->t[size_t(j)]));
+      }
+    }
+    biases[static_cast<size_t>(b)] = ops::Reshape(
+        ops::EmbeddingLookup(bucket_bias_, bucket_ids), {n, n});
+    masks[static_cast<size_t>(b)] =
+        core::BuildPaddedCausalMask(n, inst->first_real);
+  }
+  return encoder_->Forward(e, ops::Stack0(biases), ops::Stack0(masks), rng);
 }
 
 // ---- Bert4Rec ----------------------------------------------------------------
@@ -287,6 +373,44 @@ Tensor Bert4RecModel::EncodeSource(const std::vector<int64_t>& pois,
   std::vector<int64_t> ids(pois.begin() + 1, pois.end());
   ids.push_back(mask_token_);
   return EncodeIds(ids, std::max<int64_t>(0, first_real - 1), rng);
+}
+
+Tensor Bert4RecModel::EncodeSourceBatch(
+    const std::vector<const data::EvalInstance*>& instances, Rng& rng) {
+  const int64_t bsz = static_cast<int64_t>(instances.size());
+  const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+  const int64_t d = san_options_.base.dim;
+
+  // Same query construction as EncodeSource: shift left, append [MASK].
+  std::vector<int64_t> flat;
+  flat.reserve(static_cast<size_t>(bsz * n));
+  std::vector<int64_t> first_real(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    const auto* inst = instances[static_cast<size_t>(b)];
+    STISAN_CHECK_EQ(static_cast<int64_t>(inst->poi.size()), n);
+    flat.insert(flat.end(), inst->poi.begin() + 1, inst->poi.end());
+    flat.push_back(mask_token_);
+    first_real[static_cast<size_t>(b)] =
+        std::max<int64_t>(0, inst->first_real - 1);
+  }
+  Tensor e = ops::Reshape(bert_embedding_.Forward(flat), {bsz, n, d}) +
+             positions_.Forward(n);
+  e = dropout_.Forward(e, rng);
+
+  // Bidirectional: only padding keys are hidden (plus self for pad rows).
+  std::vector<Tensor> masks(static_cast<size_t>(bsz));
+  for (int64_t b = 0; b < bsz; ++b) {
+    Tensor mask = Tensor::Zeros({n, n});
+    float* m = mask.data();
+    const int64_t fr = first_real[static_cast<size_t>(b)];
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (j < fr && j != i) m[i * n + j] = -1e9f;
+      }
+    }
+    masks[static_cast<size_t>(b)] = mask;
+  }
+  return encoder_->Forward(e, Tensor(), ops::Stack0(masks), rng);
 }
 
 }  // namespace stisan::models

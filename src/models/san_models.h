@@ -49,6 +49,11 @@ class SasRecModel : public NeuralSeqModel {
                       const std::vector<double>& timestamps,
                       int64_t first_real, int64_t user, Rng& rng) override;
 
+  /// One padded forward through the rank-3 attention stack.
+  Tensor EncodeSourceBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      Rng& rng) override;
+
  private:
   SanOptions san_options_;
   SasRecExtensions extensions_;
@@ -68,6 +73,11 @@ class TiSasRecModel : public NeuralSeqModel {
   Tensor EncodeSource(const std::vector<int64_t>& pois,
                       const std::vector<double>& timestamps,
                       int64_t first_real, int64_t user, Rng& rng) override;
+
+  /// One padded forward through the rank-3 attention stack.
+  Tensor EncodeSourceBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      Rng& rng) override;
 
  private:
   /// Maps a time interval to its bucket id (log-scaled, clipped).
@@ -96,6 +106,12 @@ class Bert4RecModel : public NeuralSeqModel {
   Tensor EncodeSource(const std::vector<int64_t>& pois,
                       const std::vector<double>& timestamps,
                       int64_t first_real, int64_t user, Rng& rng) override;
+
+  /// One padded forward through the rank-3 bidirectional stack (histories
+  /// shifted left with [MASK] appended, like EncodeSource).
+  Tensor EncodeSourceBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      Rng& rng) override;
 
   /// Candidates are embedded with the BERT table (which holds the trained
   /// rows), not the unused base item embedding.

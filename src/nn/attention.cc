@@ -40,13 +40,17 @@ Tensor CausalSelfAttention::HeadAttention(const Tensor& q, const Tensor& k,
                                           const Tensor& v, const Tensor& bias,
                                           int64_t n, Rng& rng,
                                           bool with_dropout) const {
-  // TransposeLast2 yields a zero-copy view; when k is contiguous MatMul
-  // consumes it in place through the fused transposed-GEMM path.
+  // TransposeLast2 yields a zero-copy view; when k is a contiguous matrix
+  // MatMul consumes it in place through the fused transposed-GEMM path.
+  // The softmax scale uses the head width (last dim) for any rank.
+  const int64_t dk = q.shape().back();
   Tensor logits = ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
-                                 1.0f / std::sqrt(float(q.size(1))));
+                                 1.0f / std::sqrt(float(dk)));
   if (causal_) logits = logits + BuildCausalMask(n);
   if (bias.defined()) {
-    STISAN_CHECK(bias.shape() == (Shape{n, n}));
+    // [n, n] biases broadcast over the batch of [b, n, n] logits.
+    STISAN_CHECK(bias.shape() == (Shape{n, n}) ||
+                 bias.shape() == logits.shape());
     logits = logits + bias;
   }
   Tensor att = ops::Softmax(logits);
@@ -56,26 +60,31 @@ Tensor CausalSelfAttention::HeadAttention(const Tensor& q, const Tensor& k,
 
 Tensor CausalSelfAttention::Forward(const Tensor& x, const Tensor& bias,
                                     Rng& rng) const {
-  const int64_t n = x.size(0);
-  STISAN_CHECK_EQ(x.size(1), dim_);
+  // Accepts [n, d] or a padded batch [b, n, d]; per-sequence rows go
+  // through the exact same row-wise kernels, so a batched forward scores
+  // each sequence identically to its single-sequence forward.
+  STISAN_CHECK_GE(x.dim(), 2);
+  const int64_t n = x.size(x.dim() - 2);
+  STISAN_CHECK_EQ(x.shape().back(), dim_);
   Tensor q = wq_.Forward(x);
   Tensor k = wk_.Forward(x);
   Tensor v = wv_.Forward(x);
   if (num_heads_ == 1) {
     return HeadAttention(q, k, v, bias, n, rng, /*with_dropout=*/true);
   }
-  // Multi-head: slice [n, d] into head-sized columns (zero-copy strided
-  // views over q/k/v), attend per head, concatenate. The additive bias is
-  // shared across heads.
+  // Multi-head: slice the last dim into head-sized columns (zero-copy
+  // strided views over q/k/v), attend per head, concatenate. The additive
+  // bias is shared across heads.
   const int64_t dk = dim_ / num_heads_;
+  const int64_t last = x.dim() - 1;
   Tensor out;
   for (int64_t h = 0; h < num_heads_; ++h) {
     Tensor head = HeadAttention(
-        ops::Slice(q, 1, h * dk, (h + 1) * dk),
-        ops::Slice(k, 1, h * dk, (h + 1) * dk),
-        ops::Slice(v, 1, h * dk, (h + 1) * dk), bias, n, rng,
+        ops::Slice(q, last, h * dk, (h + 1) * dk),
+        ops::Slice(k, last, h * dk, (h + 1) * dk),
+        ops::Slice(v, last, h * dk, (h + 1) * dk), bias, n, rng,
         /*with_dropout=*/true);
-    out = out.defined() ? ops::Concat(out, head, 1) : head;
+    out = out.defined() ? ops::Concat(out, head, last) : head;
   }
   return out;
 }

@@ -34,7 +34,10 @@ class CausalSelfAttention : public Module {
                       bool causal = true, bool identity_init_values = false,
                       int64_t num_heads = 1);
 
-  /// x: [n, d]. bias: [n, n] or undefined. Returns [n, d].
+  /// x: [n, d] or a padded batch [b, n, d]. bias: [n, n], [b, n, n], or
+  /// undefined. Returns the same rank as x. Batched rows run through the
+  /// same row-wise kernels as the 2-D path, so per-sequence outputs match
+  /// the single-sequence forward exactly.
   Tensor Forward(const Tensor& x, const Tensor& bias, Rng& rng) const;
 
   /// Returns the post-softmax attention map [n, n] (no dropout) for

@@ -255,6 +255,15 @@ bool IsTransposed2DView(const TensorImpl& t) {
          t.strides[0] == 1 && t.strides[1] == t.shape[0];
 }
 
+// The batched analogue: TransposeLast2 of a dense [b,n,k] block, i.e. shape
+// [b,k,n] with strides {k*n, 1, k}. BatchedGemm reads it via tb, with the
+// same per-element accumulation order as the fused 2-D path.
+bool IsTransposedBatchedView(const TensorImpl& t) {
+  return t.shape.size() == 3 && t.shape[1] > 1 && t.shape[2] > 1 &&
+         t.strides[0] == t.shape[1] * t.shape[2] && t.strides[1] == 1 &&
+         t.strides[2] == t.shape[1];
+}
+
 }  // namespace
 
 // ---- Contiguity -------------------------------------------------------------
@@ -510,6 +519,34 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
     STISAN_CHECK_EQ(bsz, sb[0]);
     STISAN_CHECK_EQ(k, sb[1]);
     const Tensor a = Contiguous(a_in);
+
+    // Fast path: b is a TransposeLast2 view of a dense [bsz,n,k] block.
+    // Read it in place via BatchedGemm's tb flag (the batched mirror of the
+    // 2-D fast path above); the backward writes dB straight into the base's
+    // [bsz,n,k] grad region.
+    if (!b_in.IsContiguous() && IsTransposedBatchedView(*b_in.impl())) {
+      auto ai = a.impl();
+      auto bi = b_in.impl();
+      Tensor out = MakeNode(
+          {bsz, m, n}, {ai, bi}, [ai, bi, bsz, m, k, n](TensorImpl& self) {
+            if (ai->requires_grad) {
+              ai->EnsureGrad();
+              // dA[t] = G[t] x Base[t], Base the dense [n,k] block.
+              kernels::BatchedGemm(self.Grad(), bi->Data(), ai->Grad(), bsz,
+                                   m, n, k, false, false, true);
+            }
+            if (bi->requires_grad) {
+              bi->EnsureGrad();
+              // dBase[t] = G[t]^T x A[t], a dense [n,k] result per slice.
+              kernels::BatchedGemm(self.Grad(), ai->Data(), bi->Grad(), bsz,
+                                   n, m, k, true, false, true);
+            }
+          });
+      kernels::BatchedGemm(ai->Data(), bi->Data(), out.data(), bsz, m, k, n,
+                           false, true, false);
+      return out;
+    }
+
     const Tensor b = Contiguous(b_in);
     auto ai = a.impl();
     auto bi = b.impl();

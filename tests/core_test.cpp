@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/geo_encoder.h"
 #include "core/iaab.h"
@@ -12,6 +13,8 @@
 #include "core/taad.h"
 #include "core/tape.h"
 #include "data/synthetic.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
 
 namespace stisan::core {
 namespace {
@@ -371,6 +374,122 @@ TEST_F(GeoEncoderTest, GradientsReachTokenTable) {
   auto params = enc.Parameters();
   ASSERT_EQ(params.size(), 1u);
   EXPECT_TRUE(params[0].has_grad());
+}
+
+// ---- Batched padded scoring: gradients -------------------------------------
+
+// The batched eval path runs IAAB and TAAD on head-padded [B, n, d] inputs.
+// These tests pin down its two gradient contracts: (a) analytic gradients of
+// the whole encode->decode->match chain agree with finite differences, and
+// (b) padded input rows receive *exactly* zero gradient — the -1e9 mask
+// entries underflow to softmax weights of exactly 0, so padding must be
+// invisible to optimisation, not merely attenuated.
+class BatchedPaddingGradTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kBatch = 2;
+  static constexpr int64_t kSeq = 4;
+  static constexpr int64_t kDim = 8;
+  static constexpr int64_t kCands = 3;
+
+  void SetUp() override {
+    IaabOptions opts;
+    opts.dim = kDim;
+    opts.ffn_hidden = 12;
+    opts.dropout = 0.0f;
+    encoder_ = std::make_unique<IaabEncoder>(opts, /*num_blocks=*/1, rng_);
+    encoder_->SetTraining(false);  // dropout = identity, no rng draws
+    first_real_ = {0, 2};          // sequence 1 is head-padded at rows 0..1
+    std::vector<Tensor> masks, biases;
+    for (int64_t fr : first_real_) {
+      masks.push_back(BuildPaddedCausalMask(kSeq, fr));
+      biases.push_back(Tensor::Randn({kSeq, kSeq}, rng_, 0.1f));
+    }
+    mask_ = ops::Stack0(masks);
+    bias_ = ops::Stack0(biases);
+  }
+
+  Rng rng_{42};
+  std::unique_ptr<IaabEncoder> encoder_;
+  std::vector<int64_t> first_real_;
+  Tensor mask_, bias_;
+};
+
+TEST_F(BatchedPaddingGradTest, BatchedScorePathPassesGradcheck) {
+  Tensor x = Tensor::Randn({kBatch, kSeq, kDim}, rng_, 0.5f, true);
+  Tensor c = Tensor::Randn({kBatch, kCands, kDim}, rng_, 0.5f, true);
+  Status st = CheckGradients(
+      [&] {
+        Tensor f = encoder_->Forward(x, bias_, mask_, rng_);
+        Tensor s = TaadDecodeBatch(c, f, first_real_);
+        return ops::Sum(ops::Square(MatchScores(s, c)));
+      },
+      {x, c});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(BatchedPaddingGradTest, PaddingRowsContributeExactlyZeroGradient) {
+  Tensor x = Tensor::Randn({kBatch, kSeq, kDim}, rng_, 0.5f, true);
+  Tensor c = Tensor::Randn({kBatch, kCands, kDim}, rng_, 0.5f, true);
+  Tensor f = encoder_->Forward(x, bias_, mask_, rng_);
+  Tensor s = TaadDecodeBatch(c, f, first_real_);
+  ops::Sum(ops::Square(MatchScores(s, c))).Backward();
+
+  ASSERT_TRUE(x.has_grad());
+  const float* g = x.grad_data();
+  int64_t nonzero_real = 0;
+  for (int64_t b = 0; b < kBatch; ++b) {
+    for (int64_t i = 0; i < kSeq; ++i) {
+      for (int64_t j = 0; j < kDim; ++j) {
+        const float v = g[(b * kSeq + i) * kDim + j];
+        if (i < first_real_[static_cast<size_t>(b)]) {
+          EXPECT_EQ(v, 0.0f) << "b=" << b << " row=" << i << " col=" << j;
+        } else if (v != 0.0f) {
+          ++nonzero_real;
+        }
+      }
+    }
+  }
+  EXPECT_GT(nonzero_real, 0);  // the loss is not degenerate on real rows
+}
+
+TEST_F(BatchedPaddingGradTest, PaddedCandidateRowsStayIndependent) {
+  // Padded candidate slots (kPaddingPoi rows appended to ragged candidate
+  // lists) must not affect the gradients of real candidate rows: TAAD is
+  // per-row, so zeroing a candidate row only changes that row's score.
+  Tensor c = Tensor::Randn({kBatch, kCands, kDim}, rng_, 0.5f, true);
+  Tensor x = Tensor::Randn({kBatch, kSeq, kDim}, rng_, 0.5f);
+  Tensor f = encoder_->Forward(x, bias_, mask_, rng_);
+
+  auto real_row_grads = [&](const Tensor& cands) {
+    Tensor s = TaadDecodeBatch(cands, f, first_real_);
+    ops::Sum(ops::Square(MatchScores(s, cands))).Backward();
+    std::vector<float> out;
+    const float* g = cands.grad_data();
+    for (int64_t b = 0; b < kBatch; ++b) {
+      for (int64_t m = 0; m + 1 < kCands; ++m) {  // skip the last ("pad") row
+        for (int64_t j = 0; j < kDim; ++j) {
+          out.push_back(g[(b * kCands + m) * kDim + j]);
+        }
+      }
+    }
+    return out;
+  };
+
+  Tensor with_pad = c.Detach().SetRequiresGrad(true);
+  // Zero the final candidate row of every batch entry, as candidate padding
+  // does for lists shorter than the batch-wide maximum.
+  for (int64_t b = 0; b < kBatch; ++b) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      with_pad.set({b, kCands - 1, j}, 0.0f);
+    }
+  }
+  Tensor base = c.Detach().SetRequiresGrad(true);
+  const auto grads_padded = real_row_grads(with_pad);
+  const auto grads_base = real_row_grads(base);
+  ASSERT_EQ(grads_padded.size(), grads_base.size());
+  for (size_t i = 0; i < grads_base.size(); ++i) {
+    EXPECT_EQ(grads_padded[i], grads_base[i]) << "flat index " << i;
+  }
 }
 
 }  // namespace

@@ -61,6 +61,71 @@ TEST(AccumulatorTest, MeansOverInstances) {
   EXPECT_LT(means.at("NDCG@10"), means.at("HR@10"));
 }
 
+// ---- Merge ---------------------------------------------------------------------
+
+TEST(AccumulatorMergeTest, EmptyIntoEmpty) {
+  MetricAccumulator a({5, 10});
+  MetricAccumulator b({5, 10});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_TRUE(a.ranks().empty());
+  EXPECT_EQ(a.HitRate(5), 0.0);
+}
+
+TEST(AccumulatorMergeTest, EmptyIsIdentityOnBothSides) {
+  MetricAccumulator filled({5, 10});
+  filled.Add(0);
+  filled.Add(7);
+  MetricAccumulator empty({5, 10});
+
+  MetricAccumulator left = filled;
+  left.Merge(empty);
+  EXPECT_EQ(left.count(), 2);
+  EXPECT_EQ(left.Means(), filled.Means());
+  EXPECT_EQ(left.ranks(), filled.ranks());
+
+  MetricAccumulator right({5, 10});
+  right.Merge(filled);
+  EXPECT_EQ(right.count(), 2);
+  EXPECT_EQ(right.Means(), filled.Means());
+  EXPECT_EQ(right.ranks(), filled.ranks());
+}
+
+TEST(AccumulatorMergeTest, DisjointShardsMatchSequentialBitwise) {
+  // Merging per-shard accumulators in instance order must reproduce the
+  // sequential accumulation exactly (same double sums, same rank order).
+  const std::vector<int64_t> ranks = {0, 3, 7, 12, 1, 99, 4, 6, 2, 10, 5};
+  MetricAccumulator sequential({5, 10});
+  for (int64_t r : ranks) sequential.Add(r);
+
+  for (size_t shard_size : {1u, 3u, 4u, 100u}) {
+    MetricAccumulator merged({5, 10});
+    for (size_t begin = 0; begin < ranks.size(); begin += shard_size) {
+      MetricAccumulator shard({5, 10});
+      for (size_t i = begin; i < std::min(begin + shard_size, ranks.size());
+           ++i) {
+        shard.Add(ranks[i]);
+      }
+      merged.Merge(shard);
+    }
+    EXPECT_EQ(merged.count(), sequential.count());
+    EXPECT_EQ(merged.ranks(), sequential.ranks());
+    // Bit-exact double comparison, not EXPECT_NEAR: the merge contract.
+    const auto lhs = merged.Means();
+    const auto rhs = sequential.Means();
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (const auto& [key, value] : lhs) EXPECT_EQ(value, rhs.at(key)) << key;
+    EXPECT_EQ(merged.MeanReciprocalRank(), sequential.MeanReciprocalRank());
+  }
+}
+
+TEST(AccumulatorMergeDeathTest, MismatchedCutoffsAbort) {
+  MetricAccumulator a({5, 10});
+  MetricAccumulator b({5, 20});  // overlaps at 5 but differs at the tail
+  b.Add(1);
+  EXPECT_DEATH(a.Merge(b), "cutoffs");
+}
+
 // ---- Candidate generation -----------------------------------------------------
 
 class CandidateTest : public ::testing::Test {
@@ -109,6 +174,54 @@ TEST_F(CandidateTest, NegativesAreNearTarget) {
     if (geo::HaversineKm(target_loc, ds_.poi_location(p)) < max_neg) ++closer;
   }
   EXPECT_LE(closer, 20 + static_cast<int64_t>(inst.visited.size()) + 1);
+}
+
+TEST_F(CandidateTest, NoDuplicatesAndRespectsBudget) {
+  for (size_t k = 0; k < std::min<size_t>(20, split_.test.size()); ++k) {
+    const auto& inst = split_.test[k];
+    for (int64_t budget : {1, 7, 100}) {
+      auto cands = gen_->Candidates(inst, budget);
+      EXPECT_LE(static_cast<int64_t>(cands.size()), budget + 1);
+      std::unordered_set<int64_t> seen(cands.begin(), cands.end());
+      EXPECT_EQ(seen.size(), cands.size()) << "duplicate candidate";
+      for (int64_t c : cands) {
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, ds_.num_pois());
+      }
+    }
+  }
+}
+
+TEST(CandidateTinyPoiSetTest, FewerNegativesThanRequested) {
+  // Five POIs, two of them visited: at most 2 negatives can exist
+  // (5 - target - 2 visited), however many are requested.
+  data::Dataset ds;
+  ds.name = "tiny";
+  ds.poi_coords.resize(6);  // entry 0 = padding
+  for (int64_t p = 1; p <= 5; ++p) {
+    ds.poi_coords[static_cast<size_t>(p)] = {40.0 + 0.01 * double(p), -74.0};
+  }
+  ds.user_seqs = {{{1, 0.0}, {2, 3600.0}}};
+
+  data::EvalInstance inst;
+  inst.user = 0;
+  inst.poi = {1, 2};
+  inst.t = {0.0, 3600.0};
+  inst.target = 3;
+  inst.visited = {1, 2};
+
+  CandidateGenerator gen(ds);
+  auto cands = gen.Candidates(inst, 100);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0], inst.target);
+  EXPECT_EQ(cands.size(), 3u);  // target + the 2 unvisited POIs {4, 5}
+  std::unordered_set<int64_t> seen(cands.begin(), cands.end());
+  EXPECT_EQ(seen, (std::unordered_set<int64_t>{3, 4, 5}));
+
+  // A budget below the available pool is honoured exactly.
+  auto one = gen.Candidates(inst, 1);
+  EXPECT_EQ(one.size(), 2u);
+  EXPECT_EQ(one[0], inst.target);
 }
 
 TEST_F(CandidateTest, EvaluatePerfectAndWorstScorers) {

@@ -1,0 +1,56 @@
+// Regenerates tests/golden/golden_metrics.json from the pinned golden
+// pipeline (see golden_pipeline.h). Run after any intentional change to
+// model numerics, then commit the updated JSON alongside the change:
+//
+//   ./build/tools/refresh_golden_metrics            # writes the default path
+//   ./build/tools/refresh_golden_metrics out.json   # writes elsewhere
+//
+// Prints old vs new values so the diff is visible in the terminal too.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_pipeline.h"
+
+#ifndef STISAN_GOLDEN_JSON
+#define STISAN_GOLDEN_JSON "tests/golden/golden_metrics.json"
+#endif
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : STISAN_GOLDEN_JSON;
+
+  std::map<std::string, double> previous;
+  {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      previous = stisan::golden::ParseFlatJson(buffer.str());
+    }
+  }
+
+  std::printf("running golden pipeline (fixed seeds, 1 thread)...\n");
+  const auto metrics = stisan::golden::ComputeGoldenMetrics();
+
+  std::printf("%-10s %-24s %-24s\n", "metric", "old", "new");
+  for (const auto& [key, value] : metrics) {
+    const auto it = previous.find(key);
+    if (it == previous.end()) {
+      std::printf("%-10s %-24s %-24.17g\n", key.c_str(), "(absent)", value);
+    } else {
+      std::printf("%-10s %-24.17g %-24.17g%s\n", key.c_str(), it->second,
+                  value, it->second == value ? "" : "  <- changed");
+    }
+  }
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << stisan::golden::ToJson(metrics);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds and runs the unit-test suite under ASan and UBSan.
+#
+#   tools/run_sanitized_tests.sh            # both sanitizers
+#   tools/run_sanitized_tests.sh asan       # one of them
+#
+# Uses the asan/ubsan presets from CMakePresets.json (build trees
+# build-asan/ and build-ubsan/); the matching test presets run only
+# "unit"-labeled tests, skipping the end-to-end CLI/tool smoke tests
+# whose sanitized runtimes are excessive on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("${@:-asan ubsan}")
+[[ $# -eq 0 ]] && presets=(asan ubsan)
+
+for preset in "${presets[@]}"; do
+  echo "==== ${preset}: configure + build ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "==== ${preset}: ctest ===="
+  ctest --preset "${preset}"
+done

@@ -215,12 +215,10 @@ int Evaluate(const Args& args) {
   }
 
   eval::CandidateGenerator candidates(*dataset);
-  auto acc = eval::Evaluate(
-      [&model](const data::EvalInstance& inst,
-               const std::vector<int64_t>& cands) {
-        return model.Score(inst, cands);
-      },
-      split.test, candidates, {});
+  eval::EvalOptions eval_options;
+  eval_options.batch_size = args.GetInt("eval-batch", 32);
+  auto acc = eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                            split.test, candidates, eval_options);
   for (const auto& [name, value] : acc.Means()) {
     std::printf("%-8s %.4f\n", name.c_str(), value);
   }
