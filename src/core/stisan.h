@@ -25,6 +25,7 @@
 #include "nn/module.h"
 #include "train/config.h"
 #include "train/negative_sampler.h"
+#include "train/trainer.h"
 
 namespace stisan::core {
 
@@ -73,6 +74,17 @@ class StisanModel : public models::SequentialRecommender, public nn::Module {
 
   /// Mean training loss of the most recent epoch (for tests / logging).
   float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Outcome of the most recent Fit (resume/interrupt/non-finite counters).
+  const train::TrainResult& last_train_result() const {
+    return last_train_result_;
+  }
+
+  /// Architecture fingerprint stamped into checkpoints and verified on
+  /// load: any option that changes parameter shapes or their meaning is
+  /// included, so resuming into a differently-configured model fails with
+  /// FailedPrecondition instead of silently mis-restoring.
+  std::string ConfigFingerprint() const;
 
   int64_t model_dim() const { return dim_; }
   const StisanOptions& options() const { return options_; }
@@ -123,6 +135,7 @@ class StisanModel : public models::SequentialRecommender, public nn::Module {
   std::unique_ptr<train::NegativeSampler> sampler_;
 
   float last_epoch_loss_ = 0.0f;
+  train::TrainResult last_train_result_;
 };
 
 }  // namespace stisan::core

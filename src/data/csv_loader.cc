@@ -1,6 +1,7 @@
 #include "data/csv_loader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <unordered_map>
 
@@ -34,19 +35,42 @@ Result<Dataset> LoadCsv(const std::string& path, const std::string& name) {
     // Skip a header row.
     if (line_no == 1 && !ParseDouble(fields[2]).ok()) continue;
 
+    if (Trim(fields[0]).empty() || Trim(fields[1]).empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: empty user or poi id", path.c_str(),
+                    static_cast<long long>(line_no)));
+    }
     auto lat = ParseDouble(fields[2]);
     auto lon = ParseDouble(fields[3]);
     auto ts = ParseDouble(fields[4]);
-    if (!lat.ok() || !lon.ok() || !ts.ok()) {
+    if (!lat.ok()) {
       return Status::InvalidArgument(
-          StrFormat("%s:%lld: malformed numeric field", path.c_str(),
-                    static_cast<long long>(line_no)));
+          StrFormat("%s:%lld: malformed latitude '%s'", path.c_str(),
+                    static_cast<long long>(line_no), fields[2].c_str()));
     }
-    if (lat.value() < -90.0 || lat.value() > 90.0 || lon.value() < -180.0 ||
+    if (!lon.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: malformed longitude '%s'", path.c_str(),
+                    static_cast<long long>(line_no), fields[3].c_str()));
+    }
+    if (!ts.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: malformed timestamp '%s'", path.c_str(),
+                    static_cast<long long>(line_no), fields[4].c_str()));
+    }
+    // isfinite also rejects nan, which slips through plain range compares.
+    if (!std::isfinite(lat.value()) || !std::isfinite(lon.value()) ||
+        lat.value() < -90.0 || lat.value() > 90.0 || lon.value() < -180.0 ||
         lon.value() > 180.0) {
       return Status::InvalidArgument(
-          StrFormat("%s:%lld: coordinate out of range", path.c_str(),
-                    static_cast<long long>(line_no)));
+          StrFormat("%s:%lld: coordinate out of range (lat %s, lon %s)",
+                    path.c_str(), static_cast<long long>(line_no),
+                    fields[2].c_str(), fields[3].c_str()));
+    }
+    if (!std::isfinite(ts.value())) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: non-finite timestamp '%s'", path.c_str(),
+                    static_cast<long long>(line_no), fields[4].c_str()));
     }
 
     auto [uit, user_inserted] =

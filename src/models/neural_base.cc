@@ -4,8 +4,8 @@
 
 #include "tensor/optimizer.h"
 #include "train/loss.h"
-#include "train/lr_schedule.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace stisan::models {
 namespace {
@@ -49,99 +49,58 @@ Tensor NeuralSeqModel::Preferences(const Tensor& /*candidate_emb*/,
                      encoder_out);
 }
 
+std::string NeuralSeqModel::ConfigFingerprint() const {
+  return StrFormat("%s pois=%lld dim=%lld", name_.c_str(),
+                   static_cast<long long>(dataset_->num_pois()),
+                   static_cast<long long>(options_.dim));
+}
+
 void NeuralSeqModel::Fit(const data::Dataset& dataset,
                          const std::vector<data::TrainWindow>& train) {
   STISAN_CHECK_EQ(&dataset, dataset_);
   const auto& cfg = options_.train;
   const int64_t num_negatives = std::max<int64_t>(1, cfg.num_negatives);
 
-  Adam optimizer(Parameters(), {.lr = cfg.lr});
   SetTraining(true);
+  // The per-window forward pass; the shared train::Trainer owns the loop
+  // (shuffling, accumulation, LR schedule, guards, checkpointing).
+  auto loss_fn = [&](size_t idx) -> Tensor {
+    const data::TrainWindow& w = train[idx];
+    const int64_t n = static_cast<int64_t>(w.poi.size()) - 1;
+    const int64_t first_real = std::min<int64_t>(w.first_real, n - 1);
 
-  // Optional cosine learning-rate decay over the whole run.
-  const int64_t windows_per_epoch =
-      cfg.max_train_windows > 0
-          ? std::min<int64_t>(cfg.max_train_windows,
-                              static_cast<int64_t>(train.size()))
-          : static_cast<int64_t>(train.size());
-  const int64_t total_steps = std::max<int64_t>(
-      1, cfg.epochs * windows_per_epoch /
-             std::max<int64_t>(1, cfg.batch_size));
-  train::CosineLr schedule(cfg.lr, total_steps, cfg.lr * 0.1f,
-                           std::min<int64_t>(total_steps / 20, 50));
-  int64_t opt_step = 0;
+    std::vector<int64_t> src_poi(w.poi.begin(), w.poi.end() - 1);
+    std::vector<double> src_t(w.t.begin(), w.t.end() - 1);
+    Tensor f = EncodeSource(src_poi, src_t, first_real, w.user, rng_);
 
-  std::vector<size_t> order(train.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-
-  for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-    rng_.Shuffle(order);
-    double epoch_loss = 0.0;
-    int64_t seen = 0;
-    int64_t in_batch = 0;
-    optimizer.ZeroGrad();
-    for (size_t idx : order) {
-      if (cfg.max_train_windows > 0 && seen >= cfg.max_train_windows) break;
-      const data::TrainWindow& w = train[idx];
-      const int64_t n = static_cast<int64_t>(w.poi.size()) - 1;
-      const int64_t first_real = std::min<int64_t>(w.first_real, n - 1);
-
-      std::vector<int64_t> src_poi(w.poi.begin(), w.poi.end() - 1);
-      std::vector<double> src_t(w.t.begin(), w.t.end() - 1);
-      Tensor f = EncodeSource(src_poi, src_t, first_real, w.user, rng_);
-
-      std::vector<int64_t> cand_ids;
-      std::vector<int64_t> step_of_row;
-      for (int64_t i = first_real; i < n; ++i) {
-        const int64_t target = w.poi[static_cast<size_t>(i + 1)];
-        cand_ids.push_back(target);
+    std::vector<int64_t> cand_ids;
+    std::vector<int64_t> step_of_row;
+    for (int64_t i = first_real; i < n; ++i) {
+      const int64_t target = w.poi[static_cast<size_t>(i + 1)];
+      cand_ids.push_back(target);
+      step_of_row.push_back(i);
+      for (int64_t neg :
+           sampler_->Sample(target, num_negatives, {target}, rng_)) {
+        cand_ids.push_back(neg);
         step_of_row.push_back(i);
-        for (int64_t neg :
-             sampler_->Sample(target, num_negatives, {target}, rng_)) {
-          cand_ids.push_back(neg);
-          step_of_row.push_back(i);
-        }
       }
-      const int64_t m = n - first_real;
-      Tensor c = CandidateEmbedding(cand_ids);
-      Tensor s = Preferences(c, f, step_of_row, first_real);
-      Tensor scores = ops::Reshape(ops::SumDim(s * c, 1),
-                                   {m, num_negatives + 1});
-      // The column slices are strided views; Reshape materialises the
-      // non-contiguous positive column, BceLoss normalises the rest.
-      Tensor pos = ops::Reshape(ops::Slice(scores, 1, 0, 1), {m});
-      Tensor neg = ops::Slice(scores, 1, 1, num_negatives + 1);
-      Tensor loss = train::BceLoss(pos, neg);
+    }
+    const int64_t m = n - first_real;
+    Tensor c = CandidateEmbedding(cand_ids);
+    Tensor s = Preferences(c, f, step_of_row, first_real);
+    Tensor scores = ops::Reshape(ops::SumDim(s * c, 1),
+                                 {m, num_negatives + 1});
+    // The column slices are strided views; Reshape materialises the
+    // non-contiguous positive column, BceLoss normalises the rest.
+    Tensor pos = ops::Reshape(ops::Slice(scores, 1, 0, 1), {m});
+    Tensor neg = ops::Slice(scores, 1, 1, num_negatives + 1);
+    return train::BceLoss(pos, neg);
+  };
 
-      const int64_t bsz = std::max<int64_t>(1, cfg.batch_size);
-      ops::MulScalar(loss, 1.0f / float(bsz)).Backward();
-      epoch_loss += loss.data()[0];
-      ++seen;
-      if (++in_batch == bsz) {
-        if (cfg.cosine_decay) optimizer.SetLr(schedule.Lr(opt_step));
-        ++opt_step;
-        optimizer.ClipGradNorm(cfg.grad_clip);
-        optimizer.Step();
-        optimizer.ZeroGrad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(cfg.grad_clip);
-      optimizer.Step();
-      optimizer.ZeroGrad();
-    }
-    last_epoch_loss_ =
-        seen > 0 ? static_cast<float>(epoch_loss / double(seen)) : 0.0f;
-    if (cfg.on_epoch &&
-        !cfg.on_epoch({.epoch = epoch, .loss = last_epoch_loss_})) {
-      break;
-    }
-    if (cfg.verbose) {
-      STISAN_LOG(INFO) << name_ << " epoch " << (epoch + 1) << "/"
-                       << cfg.epochs << " loss " << last_epoch_loss_;
-    }
-  }
+  train::Trainer trainer(Parameters(), cfg, &rng_, name_,
+                         ConfigFingerprint());
+  last_train_result_ = trainer.Run(train.size(), loss_fn);
+  last_epoch_loss_ = last_train_result_.last_epoch_loss;
   SetTraining(false);
 }
 

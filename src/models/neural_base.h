@@ -16,6 +16,7 @@
 #include "nn/module.h"
 #include "train/config.h"
 #include "train/negative_sampler.h"
+#include "train/trainer.h"
 
 namespace stisan::models {
 
@@ -46,6 +47,15 @@ class NeuralSeqModel : public SequentialRecommender, public nn::Module {
       const std::vector<std::vector<int64_t>>& candidates) override;
 
   float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Outcome of the most recent Fit (resume/interrupt/non-finite counters).
+  const train::TrainResult& last_train_result() const {
+    return last_train_result_;
+  }
+
+  /// Architecture fingerprint stamped into checkpoints and verified on
+  /// load; covers the model name, item-vocabulary size and hidden dim.
+  std::string ConfigFingerprint() const;
 
  protected:
   /// Encodes the source sequence into per-step preference states [n, dim].
@@ -79,6 +89,7 @@ class NeuralSeqModel : public SequentialRecommender, public nn::Module {
   std::unique_ptr<train::NegativeSampler> sampler_;
   std::string name_;
   float last_epoch_loss_ = 0.0f;
+  train::TrainResult last_train_result_;
 };
 
 }  // namespace stisan::models

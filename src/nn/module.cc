@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "util/io_env.h"
 #include "util/serialize.h"
 #include "util/string_util.h"
 
 namespace stisan::nn {
 
 namespace {
-constexpr uint64_t kCheckpointMagic = 0x53544953414e4d31ull;  // "STISANM1"
+// Legacy format: raw record stream, no fingerprint, no checksum.
+constexpr uint64_t kLegacyCheckpointMagic = 0x53544953414e4d31ull;  // "STISANM1"
+// Current format: CRC-protected envelope with a config fingerprint.
+constexpr uint64_t kCheckpointMagic = 0x53544953414e4d32ull;  // "STISANM2"
+constexpr uint64_t kCheckpointVersion = 1;
 }  // namespace
 
 std::vector<Tensor> Module::Parameters() const {
@@ -33,32 +38,38 @@ Tensor Module::RegisterParameter(Tensor t) {
 
 void Module::RegisterModule(Module* child) { children_.push_back(child); }
 
-Status Module::SaveParameters(const std::string& path) const {
-  BinaryWriter writer(path);
+Status Module::SaveParameters(const std::string& path,
+                              const std::string& fingerprint,
+                              Env* env) const {
+  if (env == nullptr) env = Env::Default();
   const auto params = Parameters();
-  writer.WriteU64(kCheckpointMagic);
+  std::string payload;
+  BinaryWriter writer(&payload);
+  writer.WriteString(fingerprint);
   writer.WriteU64(params.size());
   for (const Tensor& p : params) {
     writer.WriteInt64Vector(p.shape());
     writer.WriteFloatVector(p.ToVector());
   }
-  return writer.Finish();
+  STISAN_RETURN_IF_ERROR(writer.Finish());
+  return WriteEnvelopeFile(env, path, kCheckpointMagic, kCheckpointVersion,
+                           payload);
 }
 
-Status Module::LoadParameters(const std::string& path) {
-  BinaryReader reader(path);
-  STISAN_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
-  if (magic != kCheckpointMagic) {
-    return Status::InvalidArgument("not a STiSAN checkpoint: " + path);
-  }
-  auto params = Parameters();
+namespace {
+
+Status LoadInto(BinaryReader& reader, std::vector<Tensor>& params) {
   STISAN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
   if (count != params.size()) {
     return Status::InvalidArgument(StrFormat(
         "checkpoint has %llu parameters, module expects %zu",
         static_cast<unsigned long long>(count), params.size()));
   }
-  for (Tensor& p : params) {
+  // Parse everything before touching the module so a corrupt record can
+  // never leave the parameters half-loaded.
+  std::vector<std::vector<float>> values(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = params[i];
     STISAN_ASSIGN_OR_RETURN(std::vector<int64_t> shape,
                             reader.ReadInt64Vector());
     if (shape != p.shape()) {
@@ -66,14 +77,52 @@ Status Module::LoadParameters(const std::string& path) {
           "checkpoint shape mismatch: expected " + ShapeToString(p.shape()) +
           " got " + ShapeToString(shape));
     }
-    STISAN_ASSIGN_OR_RETURN(std::vector<float> values,
-                            reader.ReadFloatVector());
-    if (static_cast<int64_t>(values.size()) != p.numel()) {
+    STISAN_ASSIGN_OR_RETURN(values[i], reader.ReadFloatVector());
+    if (static_cast<int64_t>(values[i].size()) != p.numel()) {
       return Status::InvalidArgument("checkpoint value count mismatch");
     }
-    std::copy(values.begin(), values.end(), p.data());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(values[i].begin(), values[i].end(), params[i].data());
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status Module::LoadParameters(const std::string& path,
+                              const std::string& expected_fingerprint,
+                              Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto params = Parameters();
+
+  STISAN_ASSIGN_OR_RETURN(uint64_t magic, PeekFileMagic(env, path));
+  if (magic == kLegacyCheckpointMagic) {
+    // Legacy stream: no fingerprint or CRC to verify.
+    BinaryReader reader(path, env);
+    STISAN_RETURN_IF_ERROR(reader.status());
+    STISAN_ASSIGN_OR_RETURN(uint64_t got, reader.ReadU64());
+    (void)got;
+    return LoadInto(reader, params);
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a STiSAN checkpoint: " + path);
+  }
+
+  STISAN_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadEnvelopeFile(env, path, kCheckpointMagic, kCheckpointVersion,
+                       kCheckpointVersion));
+  BinaryReader reader = BinaryReader::FromBuffer(std::move(payload));
+  STISAN_ASSIGN_OR_RETURN(std::string fingerprint, reader.ReadString());
+  if (!expected_fingerprint.empty() && !fingerprint.empty() &&
+      fingerprint != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "checkpoint config mismatch: checkpoint was saved with [" +
+        fingerprint + "], this model is configured with [" +
+        expected_fingerprint + "]");
+  }
+  return LoadInto(reader, params);
 }
 
 }  // namespace stisan::nn

@@ -8,6 +8,10 @@
 #include "tensor/tensor.h"
 #include "util/status.h"
 
+namespace stisan {
+class Env;
+}
+
 namespace stisan::nn {
 
 /// Base class for layers and models.
@@ -32,12 +36,23 @@ class Module {
   bool training() const { return training_; }
 
   /// Writes all parameters (recursively, in registration order) to a
-  /// binary checkpoint file.
-  Status SaveParameters(const std::string& path) const;
+  /// versioned, CRC-protected checkpoint file, written atomically (temp
+  /// file + fsync + rename). `fingerprint` is an opaque model-config
+  /// string stored alongside the weights; LoadParameters refuses a
+  /// checkpoint whose fingerprint differs from the one it expects.
+  /// `env` defaults to Env::Default().
+  Status SaveParameters(const std::string& path,
+                        const std::string& fingerprint = "",
+                        Env* env = nullptr) const;
 
   /// Restores parameters from a checkpoint produced by SaveParameters on a
   /// structurally identical module (same parameter count and shapes).
-  Status LoadParameters(const std::string& path);
+  /// If `expected_fingerprint` and the stored fingerprint are both
+  /// non-empty and differ, fails with FailedPrecondition naming both.
+  /// Also reads the legacy (pre-fingerprint, un-checksummed) format.
+  Status LoadParameters(const std::string& path,
+                        const std::string& expected_fingerprint = "",
+                        Env* env = nullptr);
 
  protected:
   /// Registers and returns a trainable tensor.

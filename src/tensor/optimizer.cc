@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace stisan {
 
 void Optimizer::ZeroGrad() {
@@ -62,6 +64,20 @@ Adam::Adam(std::vector<Tensor> params, Options options)
     m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
     v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
   }
+}
+
+void Adam::RestoreState(int64_t step_count, std::vector<std::vector<float>> m,
+                        std::vector<std::vector<float>> v) {
+  STISAN_CHECK_GE(step_count, 0);
+  STISAN_CHECK_EQ(m.size(), params_.size());
+  STISAN_CHECK_EQ(v.size(), params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    STISAN_CHECK_EQ(static_cast<int64_t>(m[k].size()), params_[k].numel());
+    STISAN_CHECK_EQ(static_cast<int64_t>(v[k].size()), params_[k].numel());
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void Adam::Step() {

@@ -71,6 +71,17 @@ class Adam : public Optimizer {
   void SetLr(float lr) override { options_.lr = lr; }
   float lr() const override { return options_.lr; }
 
+  /// Optimizer state for checkpointing: step count and per-parameter
+  /// first/second moments, in parameter registration order.
+  int64_t step_count() const { return t_; }
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+
+  /// Restores state captured from an identically-shaped Adam instance.
+  /// The moment vectors must match the parameter list element-for-element.
+  void RestoreState(int64_t step_count, std::vector<std::vector<float>> m,
+                    std::vector<std::vector<float>> v);
+
  private:
   Options options_;
   int64_t t_ = 0;

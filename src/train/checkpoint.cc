@@ -1,0 +1,204 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/io_env.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace stisan::train {
+namespace {
+
+constexpr uint64_t kTrainerCheckpointMagic = 0x53544953414e5431ull;  // "STISANT1"
+constexpr uint64_t kTrainerCheckpointVersion = 1;
+
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".bin";
+
+/// Parses "ckpt-<epoch>.bin" into the epoch; -1 when the name differs.
+int64_t EpochFromName(const std::string& name) {
+  const std::string prefix = kCheckpointPrefix;
+  const std::string suffix = kCheckpointSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  int64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+std::string EncodeTrainerState(const TrainerState& state) {
+  STISAN_CHECK_EQ(state.params.size(), state.shapes.size());
+  STISAN_CHECK_EQ(state.params.size(), state.adam_m.size());
+  STISAN_CHECK_EQ(state.params.size(), state.adam_v.size());
+  std::string payload;
+  BinaryWriter w(&payload);
+  w.WriteString(state.fingerprint);
+  w.WriteI64(state.epoch);
+  w.WriteI64(state.opt_step);
+  w.WriteI64(state.window_cursor);
+  w.WriteF32(state.last_epoch_loss);
+  for (uint64_t word : state.rng.s) w.WriteU64(word);
+  w.WriteU64(state.rng.have_cached_normal ? 1 : 0);
+  w.WriteF64(state.rng.cached_normal);
+  w.WriteI64(state.adam_t);
+  w.WriteInt64Vector(state.order);
+  w.WriteU64(state.params.size());
+  for (size_t i = 0; i < state.params.size(); ++i) {
+    w.WriteInt64Vector(state.shapes[i]);
+    w.WriteFloatVector(state.params[i]);
+    w.WriteFloatVector(state.adam_m[i]);
+    w.WriteFloatVector(state.adam_v[i]);
+  }
+  STISAN_CHECK(w.ok());
+  return payload;
+}
+
+Status SaveCheckpoint(Env* env, const std::string& path,
+                      const TrainerState& state) {
+  if (env == nullptr) env = Env::Default();
+  return WriteEnvelopeFile(env, path, kTrainerCheckpointMagic,
+                           kTrainerCheckpointVersion,
+                           EncodeTrainerState(state));
+}
+
+Result<TrainerState> LoadCheckpoint(Env* env, const std::string& path,
+                                    const std::string& expected_fingerprint) {
+  if (env == nullptr) env = Env::Default();
+  STISAN_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadEnvelopeFile(env, path, kTrainerCheckpointMagic,
+                       kTrainerCheckpointVersion, kTrainerCheckpointVersion));
+  BinaryReader r = BinaryReader::FromBuffer(std::move(payload));
+  TrainerState state;
+  STISAN_ASSIGN_OR_RETURN(state.fingerprint, r.ReadString());
+  if (!expected_fingerprint.empty() && !state.fingerprint.empty() &&
+      state.fingerprint != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "checkpoint config mismatch: checkpoint was saved with [" +
+        state.fingerprint + "], this trainer is configured with [" +
+        expected_fingerprint + "]");
+  }
+  STISAN_ASSIGN_OR_RETURN(state.epoch, r.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(state.opt_step, r.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(state.window_cursor, r.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(state.last_epoch_loss, r.ReadF32());
+  for (auto& word : state.rng.s) {
+    STISAN_ASSIGN_OR_RETURN(word, r.ReadU64());
+  }
+  STISAN_ASSIGN_OR_RETURN(uint64_t have_normal, r.ReadU64());
+  if (have_normal > 1) {
+    return Status::IoError("corrupt rng state in checkpoint: " + path);
+  }
+  state.rng.have_cached_normal = have_normal == 1;
+  STISAN_ASSIGN_OR_RETURN(state.rng.cached_normal, r.ReadF64());
+  STISAN_ASSIGN_OR_RETURN(state.adam_t, r.ReadI64());
+  if (state.epoch < 0 || state.opt_step < 0 || state.window_cursor < 0 ||
+      state.adam_t < 0) {
+    return Status::IoError("corrupt cursor in checkpoint: " + path);
+  }
+  STISAN_ASSIGN_OR_RETURN(state.order, r.ReadInt64Vector());
+  // The order must be a permutation of [0, n) or the resumed epoch would
+  // visit the wrong windows (or index out of bounds).
+  std::vector<bool> seen(state.order.size(), false);
+  for (int64_t idx : state.order) {
+    if (idx < 0 || idx >= static_cast<int64_t>(state.order.size()) ||
+        seen[static_cast<size_t>(idx)]) {
+      return Status::IoError("corrupt window order in checkpoint: " + path);
+    }
+    seen[static_cast<size_t>(idx)] = true;
+  }
+  STISAN_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  // Envelope size bounds the plausible parameter count: each entry holds at
+  // least four length prefixes.
+  if (count > r.remaining() / (4 * sizeof(uint64_t)) + 1) {
+    return Status::OutOfRange("corrupt parameter count in checkpoint: " +
+                              path);
+  }
+  state.shapes.resize(count);
+  state.params.resize(count);
+  state.adam_m.resize(count);
+  state.adam_v.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    STISAN_ASSIGN_OR_RETURN(state.shapes[i], r.ReadInt64Vector());
+    STISAN_ASSIGN_OR_RETURN(state.params[i], r.ReadFloatVector());
+    STISAN_ASSIGN_OR_RETURN(state.adam_m[i], r.ReadFloatVector());
+    STISAN_ASSIGN_OR_RETURN(state.adam_v[i], r.ReadFloatVector());
+    if (state.adam_m[i].size() != state.params[i].size() ||
+        state.adam_v[i].size() != state.params[i].size()) {
+      return Status::IoError("corrupt Adam moments in checkpoint: " + path);
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::IoError("trailing bytes in checkpoint payload: " + path);
+  }
+  return state;
+}
+
+CheckpointManager::CheckpointManager(const CheckpointConfig& config,
+                                     std::string fingerprint)
+    : config_(config), fingerprint_(std::move(fingerprint)) {
+  STISAN_CHECK(!config_.dir.empty());
+  STISAN_CHECK_GE(config_.keep_last, 1);
+  env_ = config_.env != nullptr ? config_.env : Env::Default();
+}
+
+std::string CheckpointManager::PathForEpoch(int64_t epoch) const {
+  return config_.dir + "/" +
+         StrFormat("%s%06lld%s", kCheckpointPrefix,
+                   static_cast<long long>(epoch), kCheckpointSuffix);
+}
+
+std::vector<int64_t> CheckpointManager::ListEpochs() const {
+  std::vector<int64_t> epochs;
+  auto names = env_->ListDir(config_.dir);
+  if (!names.ok()) return epochs;
+  for (const auto& name : *names) {
+    const int64_t epoch = EpochFromName(name);
+    if (epoch >= 0) epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status CheckpointManager::Save(const TrainerState& state) {
+  STISAN_RETURN_IF_ERROR(env_->CreateDir(config_.dir));
+  TrainerState stamped = state;
+  stamped.fingerprint = fingerprint_;
+  STISAN_RETURN_IF_ERROR(
+      SaveCheckpoint(env_, PathForEpoch(state.epoch), stamped));
+  // Rotate only after the new checkpoint is durably on disk.
+  std::vector<int64_t> epochs = ListEpochs();
+  if (static_cast<int64_t>(epochs.size()) > config_.keep_last) {
+    const size_t drop = epochs.size() - static_cast<size_t>(config_.keep_last);
+    for (size_t i = 0; i < drop; ++i) {
+      env_->DeleteFile(PathForEpoch(epochs[i]));  // best effort
+    }
+  }
+  return Status::OK();
+}
+
+Result<TrainerState> CheckpointManager::LoadLatest() const {
+  std::vector<int64_t> epochs = ListEpochs();
+  Status last_error = Status::NotFound(
+      "no checkpoint found in " + config_.dir);
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    auto state = LoadCheckpoint(env_, PathForEpoch(*it), fingerprint_);
+    if (state.ok()) return state;
+    last_error = state.status();
+  }
+  return last_error;
+}
+
+}  // namespace stisan::train

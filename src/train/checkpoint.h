@@ -1,0 +1,94 @@
+// Crash-consistent trainer checkpoints.
+//
+// A trainer checkpoint captures EVERYTHING the training loop needs to
+// resume bit-identically after a crash: model parameters, Adam moments and
+// step count, the LR-schedule cursor (optimizer step), the epoch/window
+// cursor, the RNG stream state, and a model-config fingerprint that guards
+// against resuming into a differently-configured model.
+//
+// On-disk format (util/serialize envelope):
+//   [magic "STISANT1"][version][payload_len][payload][crc32(payload)]
+// written via temp file + fsync + atomic rename, with keep-last-K rotation.
+// A reader therefore either sees a complete, CRC-valid checkpoint or a
+// clean error Status — never a torn file that parses.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "train/config.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace stisan::train {
+
+/// The complete resumable state of a training run. Parameters and Adam
+/// moments are stored as plain flat vectors in parameter registration
+/// order; the Trainer converts tensors to/from this representation.
+struct TrainerState {
+  std::string fingerprint;
+  int64_t epoch = 0;          // completed epochs
+  int64_t opt_step = 0;       // LR-schedule cursor (optimizer steps taken)
+  int64_t window_cursor = 0;  // windows consumed in the current epoch
+                              // (always 0: checkpoints sit on boundaries)
+  float last_epoch_loss = 0.0f;
+  Rng::State rng;
+  int64_t adam_t = 0;
+  /// The window-visit permutation as of this snapshot. The training loop
+  /// re-shuffles ONE vector across epochs, so the epoch-k order depends on
+  /// every earlier shuffle and cannot be re-derived from the boundary RNG
+  /// state alone — it must travel with the checkpoint.
+  std::vector<int64_t> order;
+  std::vector<std::vector<int64_t>> shapes;
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<float>> adam_m;
+  std::vector<std::vector<float>> adam_v;
+};
+
+/// Serialises `state` into the envelope payload format (for tests that
+/// need byte-level access; SaveCheckpoint wraps this).
+std::string EncodeTrainerState(const TrainerState& state);
+
+/// Atomically writes `state` to `path` through `env`.
+Status SaveCheckpoint(Env* env, const std::string& path,
+                      const TrainerState& state);
+
+/// Loads and validates a checkpoint. If `expected_fingerprint` is
+/// non-empty and differs from the stored one, fails with
+/// FailedPrecondition naming both.
+Result<TrainerState> LoadCheckpoint(Env* env, const std::string& path,
+                                    const std::string& expected_fingerprint);
+
+/// Manages the rotating checkpoint directory `config.dir`: numbered files
+/// `ckpt-<epoch>.bin`, newest-K retention, and newest-valid-first loading.
+class CheckpointManager {
+ public:
+  /// `config.dir` must be non-empty. The directory is created lazily on
+  /// the first Save.
+  CheckpointManager(const CheckpointConfig& config, std::string fingerprint);
+
+  /// Writes `state` as `ckpt-<epoch>.bin` (atomic replace), then rotates:
+  /// older checkpoints beyond keep_last are deleted. On failure the
+  /// previous checkpoints are untouched.
+  Status Save(const TrainerState& state);
+
+  /// Loads the newest checkpoint that validates (CRC + fingerprint).
+  /// Invalid files are skipped — a corrupt newest checkpoint falls back to
+  /// the next-older valid one. NotFound when none validates.
+  Result<TrainerState> LoadLatest() const;
+
+  /// Epochs of the checkpoints currently present (sorted ascending),
+  /// whether or not they validate.
+  std::vector<int64_t> ListEpochs() const;
+
+  std::string PathForEpoch(int64_t epoch) const;
+
+ private:
+  CheckpointConfig config_;
+  std::string fingerprint_;
+  Env* env_;
+};
+
+}  // namespace stisan::train

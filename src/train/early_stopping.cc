@@ -1,8 +1,10 @@
 #include "train/early_stopping.h"
 
+#include <cmath>
 #include <limits>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace stisan::train {
 
@@ -49,6 +51,37 @@ bool EarlyStopping::ShouldStop(double metric) {
   }
   ++epoch_;
   return bad_epochs_ >= patience_;
+}
+
+void EarlyStopping::Save(BinaryWriter& writer) const {
+  writer.WriteI64(patience_);
+  writer.WriteF64(min_delta_);
+  writer.WriteF64(best_);
+  writer.WriteI64(best_epoch_);
+  writer.WriteI64(epoch_);
+  writer.WriteI64(bad_epochs_);
+}
+
+Status EarlyStopping::Load(BinaryReader& reader) {
+  STISAN_ASSIGN_OR_RETURN(int64_t patience, reader.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(double min_delta, reader.ReadF64());
+  STISAN_ASSIGN_OR_RETURN(double best, reader.ReadF64());
+  STISAN_ASSIGN_OR_RETURN(int64_t best_epoch, reader.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(int64_t epoch, reader.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(int64_t bad_epochs, reader.ReadI64());
+  // best_ is legitimately -inf before the first epoch; only NaN is corrupt.
+  if (patience < 1 || min_delta < 0.0 || std::isnan(min_delta) ||
+      std::isnan(best) || best_epoch < -1 || epoch < 0 || bad_epochs < 0 ||
+      bad_epochs > epoch) {
+    return Status::InvalidArgument("corrupt EarlyStopping state");
+  }
+  patience_ = patience;
+  min_delta_ = min_delta;
+  best_ = best;
+  best_epoch_ = best_epoch;
+  epoch_ = epoch;
+  bad_epochs_ = bad_epochs;
+  return Status::OK();
 }
 
 }  // namespace stisan::train

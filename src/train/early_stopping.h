@@ -9,6 +9,12 @@
 
 #include "data/types.h"
 #include "util/rng.h"
+#include "util/status.h"
+
+namespace stisan {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace stisan
 
 namespace stisan::train {
 
@@ -37,6 +43,13 @@ class EarlyStopping {
   double best_metric() const { return best_; }
   int64_t best_epoch() const { return best_epoch_; }
   int64_t epochs_seen() const { return epoch_; }
+
+  /// Serialises the monitor so a resumed run makes the same stop decisions
+  /// as an uninterrupted one. Load validates the restored values and
+  /// returns a clean Status on corrupt input (the monitor is unchanged on
+  /// failure).
+  void Save(BinaryWriter& writer) const;
+  Status Load(BinaryReader& reader);
 
  private:
   int64_t patience_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace stisan::train {
 
@@ -49,6 +50,29 @@ float CosineLr::Lr(int64_t step) const {
                  0.0f, 1.0f);
   return min_lr_ + 0.5f * (base_lr_ - min_lr_) *
                        (1.0f + std::cos(progress * float(M_PI)));
+}
+
+void CosineLr::Save(BinaryWriter& writer) const {
+  writer.WriteF32(base_lr_);
+  writer.WriteI64(total_steps_);
+  writer.WriteF32(min_lr_);
+  writer.WriteI64(warmup_steps_);
+}
+
+Status CosineLr::Load(BinaryReader& reader) {
+  STISAN_ASSIGN_OR_RETURN(float base_lr, reader.ReadF32());
+  STISAN_ASSIGN_OR_RETURN(int64_t total_steps, reader.ReadI64());
+  STISAN_ASSIGN_OR_RETURN(float min_lr, reader.ReadF32());
+  STISAN_ASSIGN_OR_RETURN(int64_t warmup_steps, reader.ReadI64());
+  if (total_steps <= 0 || warmup_steps < 0 || !std::isfinite(base_lr) ||
+      !std::isfinite(min_lr) || min_lr > base_lr) {
+    return Status::InvalidArgument("corrupt CosineLr state");
+  }
+  base_lr_ = base_lr;
+  total_steps_ = total_steps;
+  min_lr_ = min_lr;
+  warmup_steps_ = warmup_steps;
+  return Status::OK();
 }
 
 }  // namespace stisan::train

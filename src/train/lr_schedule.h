@@ -6,6 +6,13 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
+namespace stisan {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace stisan
+
 namespace stisan::train {
 
 /// Interface for learning-rate schedules.
@@ -56,6 +63,12 @@ class CosineLr : public LrSchedule {
   CosineLr(float base_lr, int64_t total_steps, float min_lr = 0.0f,
            int64_t warmup_steps = 0);
   float Lr(int64_t step) const override;
+
+  /// Serialises the schedule so a resumed run reproduces the same LR
+  /// sequence. Load validates the restored values and returns a clean
+  /// Status on corrupt input (the schedule is unchanged on failure).
+  void Save(BinaryWriter& writer) const;
+  Status Load(BinaryReader& reader);
 
  private:
   float base_lr_;

@@ -1,0 +1,31 @@
+#include "train/signal.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace stisan::train {
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void StopHandler(int /*signum*/) { g_stop_requested.store(true); }
+
+}  // namespace
+
+void InstallStopSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = StopHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking IO promptly
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool StopRequested() { return g_stop_requested.load(); }
+
+void RequestStop() { g_stop_requested.store(true); }
+
+void ClearStopRequest() { g_stop_requested.store(false); }
+
+}  // namespace stisan::train

@@ -1,0 +1,25 @@
+// Flag-based graceful-shutdown support for long training runs.
+//
+// A SIGINT/SIGTERM handler only sets an atomic flag (the only thing that is
+// async-signal-safe to do); train::Trainer polls the flag between optimizer
+// steps, finishes the step in flight, writes a checkpoint and returns with
+// `interrupted = true`. Tests trigger the same path programmatically via
+// RequestStop().
+
+#pragma once
+
+namespace stisan::train {
+
+/// Installs SIGINT/SIGTERM handlers that set the stop flag. Idempotent.
+void InstallStopSignalHandlers();
+
+/// True once a stop has been requested (by signal or RequestStop).
+bool StopRequested();
+
+/// Programmatic stop request (tests, embedding applications).
+void RequestStop();
+
+/// Clears the stop flag (between independent training runs in one process).
+void ClearStopRequest();
+
+}  // namespace stisan::train

@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace stisan {
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace stisan

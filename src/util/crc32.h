@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// integrity checks. Software table implementation; throughput is far above
+// what checkpoint writes need.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stisan {
+
+/// Extends a running CRC-32 over `n` bytes. Start with crc = 0.
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32 of one contiguous buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Extend(0, data, n);
+}
+
+}  // namespace stisan

@@ -1,0 +1,223 @@
+#include "util/io_env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace stisan {
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    STISAN_RETURN_IF_ERROR(status_);
+    if (std::fwrite(data, 1, n, file_) != n) {
+      status_ = ErrnoStatus("write", path_);
+    }
+    return status_;
+  }
+
+  Status Flush() override {
+    STISAN_RETURN_IF_ERROR(status_);
+    if (std::fflush(file_) != 0) status_ = ErrnoStatus("flush", path_);
+    return status_;
+  }
+
+  Status Sync() override {
+    STISAN_RETURN_IF_ERROR(Flush());
+    if (::fsync(::fileno(file_)) != 0) status_ = ErrnoStatus("fsync", path_);
+    return status_;
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return status_;
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = ErrnoStatus("close", path_);
+    }
+    file_ = nullptr;
+    return status_;
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  Status status_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return ErrnoStatus("open for writing", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return ErrnoStatus("open for reading", path);
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.append(buf, n);
+    }
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) return ErrnoStatus("read", path);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir", path);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open directory", path);
+    Status st;
+    if (::fsync(fd) != 0) st = ErrnoStatus("fsync directory", path);
+    ::close(fd);
+    return st;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp);
+  STISAN_RETURN_IF_ERROR(file.status());
+  Status st = (*file)->Append(contents.data(), contents.size());
+  if (st.ok()) st = (*file)->Sync();
+  const Status close_st = (*file)->Close();
+  if (st.ok()) st = close_st;
+  if (st.ok()) st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    if (env->FileExists(tmp)) env->DeleteFile(tmp);  // best effort
+    return st;
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return env->SyncDir(dir);
+}
+
+class FaultInjectionFile : public WritableFile {
+ public:
+  FaultInjectionFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const void* data, size_t n) override {
+    env_->bytes_attempted_ += static_cast<int64_t>(n);
+    const FaultPlan& plan = env_->plan_;
+    size_t allowed = n;
+    bool tripped = false;
+    if (plan.fail_after_bytes >= 0) {
+      const int64_t room = plan.fail_after_bytes - env_->bytes_written_;
+      if (room < static_cast<int64_t>(n)) {
+        allowed = static_cast<size_t>(room < 0 ? 0 : room);
+        tripped = true;
+      }
+    }
+    if (allowed > 0) {
+      STISAN_RETURN_IF_ERROR(base_->Append(data, allowed));
+      env_->bytes_written_ += static_cast<int64_t>(allowed);
+    }
+    if (tripped && plan.mode == FaultPlan::Mode::kError) {
+      return Status::IoError("injected write failure at byte " +
+                             std::to_string(plan.fail_after_bytes));
+    }
+    return Status::OK();  // kSilentTruncate drops the tail silently
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    if (env_->plan_.fail_on_sync) {
+      return Status::IoError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  auto base = base_->NewWritableFile(path);
+  STISAN_RETURN_IF_ERROR(base.status());
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionFile>(std::move(*base), this));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (plan_.fail_on_rename) {
+    return Status::IoError("injected rename failure: " + from);
+  }
+  return base_->RenameFile(from, to);
+}
+
+}  // namespace stisan

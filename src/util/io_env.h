@@ -1,0 +1,134 @@
+// Pluggable filesystem abstraction (RocksDB-style Env) so crash-consistency
+// code can be exercised against injected faults.
+//
+// Production code writes through Env::Default() (POSIX files + fsync).
+// Tests wrap it in a FaultInjectionEnv that fails or silently truncates
+// writes at a chosen byte offset, fails fsync, or fails rename — simulating
+// full disks, torn writes and crashes mid-checkpoint.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stisan {
+
+/// Sequential output file. All methods report failure through Status; after
+/// the first failure subsequent calls keep failing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+  /// Flushes user-space buffers to the OS.
+  virtual Status Flush() = 0;
+  /// Flushes OS buffers to stable storage (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem operations used by checkpointing. Methods mirror POSIX
+/// semantics; RenameFile is atomic on the default implementation.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Entry names (not paths) in `path`, excluding "." and "..".
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  /// Creates one directory level; OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// fsyncs a directory so a preceding rename is durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Crash-consistent file replacement: writes `contents` to `path + ".tmp"`,
+/// flushes and fsyncs it, atomically renames over `path`, then fsyncs the
+/// parent directory. On any failure the destination is left untouched (the
+/// temp file is deleted best-effort) and a non-OK Status is returned.
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::string& contents);
+
+/// Describes the fault a FaultInjectionEnv injects.
+struct FaultPlan {
+  /// Cumulative Append() byte offset at which writes start failing
+  /// (-1 = never). Bytes before the offset are written normally.
+  int64_t fail_after_bytes = -1;
+  enum class Mode {
+    /// Append returns IoError once the offset is reached.
+    kError,
+    /// Bytes past the offset are silently dropped (torn write / power
+    /// loss after the write() but before the data hit the platter);
+    /// Append/Sync/Close keep reporting OK.
+    kSilentTruncate,
+  };
+  Mode mode = Mode::kError;
+  bool fail_on_sync = false;
+  bool fail_on_rename = false;
+};
+
+/// Env wrapper that injects the faults described by a FaultPlan into files
+/// opened through it. The byte counter is cumulative across all files opened
+/// since the last SetPlan(), which lets tests sweep a failpoint across a
+/// multi-write checkpoint save.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Installs a new plan and resets both cumulative byte counters.
+  void SetPlan(const FaultPlan& plan) {
+    plan_ = plan;
+    bytes_written_ = 0;
+    bytes_attempted_ = 0;
+  }
+  const FaultPlan& plan() const { return plan_; }
+  /// Bytes successfully appended (i.e. not failed/dropped) since SetPlan.
+  int64_t bytes_written() const { return bytes_written_; }
+  /// Bytes offered to Append since SetPlan, including failed/dropped ones.
+  int64_t bytes_attempted() const { return bytes_attempted_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status SyncDir(const std::string& path) override {
+    return base_->SyncDir(path);
+  }
+
+ private:
+  friend class FaultInjectionFile;
+
+  Env* base_;
+  FaultPlan plan_;
+  int64_t bytes_written_ = 0;
+  int64_t bytes_attempted_ = 0;
+};
+
+}  // namespace stisan

@@ -132,4 +132,18 @@ Rng Rng::Fork() {
   return Rng(NextU64());
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.have_cached_normal = have_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace stisan

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -68,6 +69,17 @@ class Rng {
   /// Forks an independent generator whose stream does not overlap usefully
   /// with this one (re-seeded from the current state).
   Rng Fork();
+
+  /// Complete generator state (xoshiro words plus the Box-Muller cache).
+  /// Restoring a captured state resumes the stream bit-identically, which
+  /// checkpoint/resume relies on.
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
 
  private:
   uint64_t s_[4];

@@ -2,29 +2,41 @@
 
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace stisan {
 namespace {
-// Sanity cap against corrupt length prefixes (1G elements).
+// Sanity cap against corrupt length prefixes (1G elements). The effective
+// bound is usually much tighter: lengths are also checked against the bytes
+// remaining in the input.
 constexpr uint64_t kMaxVectorLen = 1ull << 30;
 }  // namespace
 
-BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_.is_open()) {
-    status_ = Status::IoError("cannot open for writing: " + path);
+BinaryWriter::BinaryWriter(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) {
+    status_ = file.status();
+    return;
   }
+  file_ = std::move(*file);
 }
+
+BinaryWriter::BinaryWriter(std::string* buffer) : buffer_(buffer) {}
 
 void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
   if (!status_.ok()) return;
-  out_.write(static_cast<const char*>(data),
-             static_cast<std::streamsize>(bytes));
-  if (!out_.good()) status_ = Status::IoError("write failed");
+  if (buffer_ != nullptr) {
+    buffer_->append(static_cast<const char*>(data), bytes);
+    return;
+  }
+  status_ = file_->Append(data, bytes);
 }
 
 void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
 void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
 void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
 
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
@@ -42,28 +54,52 @@ void BinaryWriter::WriteInt64Vector(const std::vector<int64_t>& v) {
 }
 
 Status BinaryWriter::Finish() {
-  if (status_.ok()) {
-    out_.flush();
-    if (!out_.good()) status_ = Status::IoError("flush failed");
+  if (file_ != nullptr) {
+    if (status_.ok()) status_ = file_->Flush();
+    const Status close_st = file_->Close();
+    if (status_.ok()) status_ = close_st;
+    file_.reset();
   }
-  out_.close();
   return status_;
 }
 
-BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  if (!in_.is_open()) {
-    status_ = Status::IoError("cannot open for reading: " + path);
+BinaryReader::BinaryReader(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto data = env->ReadFileToString(path);
+  if (!data.ok()) {
+    status_ = data.status();
+    return;
   }
+  data_ = std::move(*data);
+}
+
+BinaryReader BinaryReader::FromBuffer(std::string data) {
+  BinaryReader r;
+  r.data_ = std::move(data);
+  return r;
 }
 
 Status BinaryReader::ReadRaw(void* data, size_t bytes) {
   if (!status_.ok()) return status_;
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (in_.gcount() != static_cast<std::streamsize>(bytes)) {
+  if (bytes > remaining()) {
     status_ = Status::IoError("unexpected end of file");
+    return status_;
   }
+  std::memcpy(data, data_.data() + pos_, bytes);
+  pos_ += bytes;
   return status_;
+}
+
+Result<uint64_t> BinaryReader::ReadLength(size_t elem_size) {
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxVectorLen || len * elem_size > remaining()) {
+    status_ = Status::OutOfRange(
+        "corrupt length prefix: " + std::to_string(len) + " elements of " +
+        std::to_string(elem_size) + " bytes exceeds the " +
+        std::to_string(remaining()) + " bytes remaining");
+    return status_;
+  }
+  return len;
 }
 
 Result<uint64_t> BinaryReader::ReadU64() {
@@ -84,28 +120,94 @@ Result<float> BinaryReader::ReadF32() {
   return v;
 }
 
+Result<double> BinaryReader::ReadF64() {
+  double v = 0;
+  STISAN_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
 Result<std::string> BinaryReader::ReadString() {
-  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
-  if (len > kMaxVectorLen) return Status::IoError("corrupt string length");
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadLength(1));
   std::string s(len, '\0');
   STISAN_RETURN_IF_ERROR(ReadRaw(s.data(), len));
   return s;
 }
 
 Result<std::vector<float>> BinaryReader::ReadFloatVector() {
-  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
-  if (len > kMaxVectorLen) return Status::IoError("corrupt vector length");
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadLength(sizeof(float)));
   std::vector<float> v(len);
   STISAN_RETURN_IF_ERROR(ReadRaw(v.data(), len * sizeof(float)));
   return v;
 }
 
 Result<std::vector<int64_t>> BinaryReader::ReadInt64Vector() {
-  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
-  if (len > kMaxVectorLen) return Status::IoError("corrupt vector length");
+  STISAN_ASSIGN_OR_RETURN(uint64_t len, ReadLength(sizeof(int64_t)));
   std::vector<int64_t> v(len);
   STISAN_RETURN_IF_ERROR(ReadRaw(v.data(), len * sizeof(int64_t)));
   return v;
+}
+
+Status WriteEnvelopeFile(Env* env, const std::string& path, uint64_t magic,
+                         uint64_t version, const std::string& payload) {
+  std::string contents;
+  contents.reserve(payload.size() + 28);
+  BinaryWriter header(&contents);
+  header.WriteU64(magic);
+  header.WriteU64(version);
+  header.WriteU64(payload.size());
+  contents += payload;
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  contents.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return WriteFileAtomic(env, path, contents);
+}
+
+Result<std::string> ReadEnvelopeFile(Env* env, const std::string& path,
+                                     uint64_t magic, uint64_t min_version,
+                                     uint64_t max_version) {
+  if (env == nullptr) env = Env::Default();
+  STISAN_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
+  constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
+  constexpr size_t kCrcBytes = sizeof(uint32_t);
+  if (contents.size() < kHeaderBytes + kCrcBytes) {
+    return Status::IoError("envelope truncated: " + path);
+  }
+  uint64_t got_magic, got_version, payload_len;
+  std::memcpy(&got_magic, contents.data(), sizeof(uint64_t));
+  std::memcpy(&got_version, contents.data() + 8, sizeof(uint64_t));
+  std::memcpy(&payload_len, contents.data() + 16, sizeof(uint64_t));
+  if (got_magic != magic) {
+    return Status::InvalidArgument("bad magic number: " + path);
+  }
+  if (got_version < min_version || got_version > max_version) {
+    return Status::InvalidArgument(
+        "unsupported format version " + std::to_string(got_version) + ": " +
+        path);
+  }
+  if (payload_len != contents.size() - kHeaderBytes - kCrcBytes) {
+    return Status::IoError(
+        "envelope payload length mismatch (truncated or trailing "
+        "garbage): " +
+        path);
+  }
+  const char* payload = contents.data() + kHeaderBytes;
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, payload + payload_len, sizeof(stored_crc));
+  const uint32_t computed_crc = Crc32(payload, payload_len);
+  if (stored_crc != computed_crc) {
+    return Status::IoError("CRC mismatch (corrupt checkpoint): " + path);
+  }
+  return std::string(payload, payload_len);
+}
+
+Result<uint64_t> PeekFileMagic(Env* env, const std::string& path) {
+  if (env == nullptr) env = Env::Default();
+  STISAN_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
+  if (contents.size() < sizeof(uint64_t)) {
+    return Status::IoError("file too short for a magic number: " + path);
+  }
+  uint64_t magic;
+  std::memcpy(&magic, contents.data(), sizeof(magic));
+  return magic;
 }
 
 }  // namespace stisan

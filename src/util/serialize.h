@@ -2,15 +2,22 @@
 //
 // Format: little-endian, length-prefixed. A checkpoint is a sequence of
 // records written through BinaryWriter and read back in the same order
-// through BinaryReader; Module::Save/Load (nn/module.h) build on these.
+// through BinaryReader; Module::Save/Load (nn/module.h) and the trainer
+// checkpoints (train/checkpoint.h) build on these.
+//
+// Writers target either a file (through an Env, so faults can be injected)
+// or an in-memory buffer; readers always parse from a bounded in-memory
+// buffer, so every length prefix is validated against the bytes actually
+// present — a corrupt or truncated file yields a clean Status, never an
+// allocation blow-up or partial read.
 
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "util/io_env.h"
 #include "util/status.h"
 
 namespace stisan {
@@ -18,17 +25,21 @@ namespace stisan {
 /// Streaming binary writer. All writes report failure through status().
 class BinaryWriter {
  public:
-  /// Opens `path` for writing (truncates).
-  explicit BinaryWriter(const std::string& path);
+  /// Opens `path` for writing (truncates) through `env` (default POSIX).
+  explicit BinaryWriter(const std::string& path, Env* env = nullptr);
+
+  /// Appends to `buffer` instead of a file (checkpoint payload assembly).
+  explicit BinaryWriter(std::string* buffer);
 
   void WriteU64(uint64_t v);
   void WriteI64(int64_t v);
   void WriteF32(float v);
+  void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
   void WriteInt64Vector(const std::vector<int64_t>& v);
 
-  /// Flushes and returns the cumulative status.
+  /// Flushes and returns the cumulative status. No-op in buffer mode.
   Status Finish();
 
   bool ok() const { return status_.ok(); }
@@ -37,30 +48,68 @@ class BinaryWriter {
  private:
   void WriteRaw(const void* data, size_t bytes);
 
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;  // file mode
+  std::string* buffer_ = nullptr;       // buffer mode
   Status status_;
 };
 
-/// Streaming binary reader mirroring BinaryWriter.
+/// Binary reader mirroring BinaryWriter. The whole input is held in memory
+/// and every length prefix is bounded by the remaining byte count.
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::string& path);
+  /// Reads the entire file at `path` through `env` (default POSIX).
+  explicit BinaryReader(const std::string& path, Env* env = nullptr);
+
+  /// Parses from an in-memory buffer (e.g. a CRC-verified payload).
+  static BinaryReader FromBuffer(std::string data);
 
   Result<uint64_t> ReadU64();
   Result<int64_t> ReadI64();
   Result<float> ReadF32();
+  Result<double> ReadF64();
   Result<std::string> ReadString();
   Result<std::vector<float>> ReadFloatVector();
   Result<std::vector<int64_t>> ReadInt64Vector();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
  private:
-  Status ReadRaw(void* data, size_t bytes);
+  BinaryReader() = default;
 
-  std::ifstream in_;
+  Status ReadRaw(void* data, size_t bytes);
+  /// Validates a length prefix for `elem_size`-byte elements against the
+  /// remaining input.
+  Result<uint64_t> ReadLength(size_t elem_size);
+
+  std::string data_;
+  size_t pos_ = 0;
   Status status_;
 };
+
+// ---- Versioned, CRC-protected file envelope --------------------------------
+//
+// Layout: [magic u64][version u64][payload_len u64][payload][crc32 u32]
+// where the CRC covers the payload bytes. Written atomically via
+// WriteFileAtomic (temp file + fsync + rename), so a reader either sees a
+// complete envelope or the previous file contents — never a torn write that
+// passes validation.
+
+/// Atomically writes `payload` wrapped in an envelope to `path`.
+Status WriteEnvelopeFile(Env* env, const std::string& path, uint64_t magic,
+                         uint64_t version, const std::string& payload);
+
+/// Reads and validates an envelope; returns the payload. Fails with a clean
+/// Status on missing file, wrong magic, unsupported version, truncation,
+/// trailing garbage or CRC mismatch.
+Result<std::string> ReadEnvelopeFile(Env* env, const std::string& path,
+                                     uint64_t magic, uint64_t min_version,
+                                     uint64_t max_version);
+
+/// Peeks at the leading magic number of a file (for format dispatch).
+Result<uint64_t> PeekFileMagic(Env* env, const std::string& path);
 
 }  // namespace stisan

@@ -1,0 +1,322 @@
+// Robustness tests for the crash-consistent checkpoint subsystem: fault
+// injection sweeps over every byte offset of a checkpoint write, torn-write
+// (silent truncation) recovery, fsync/rename failures, fuzzing the loader
+// with truncated and bit-flipped files, rotation, and config-fingerprint
+// mismatch detection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "train/checkpoint.h"
+#include "util/io_env.h"
+#include "util/serialize.h"
+
+namespace stisan::train {
+namespace {
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/stisan_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir ? std::string(dir) : std::string();
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& name : *names) env->DeleteFile(dir + "/" + name);
+  }
+  rmdir(dir.c_str());
+}
+
+TrainerState MakeState(int64_t epoch) {
+  TrainerState state;
+  state.fingerprint = "test-model d=4";
+  state.epoch = epoch;
+  state.opt_step = epoch * 10 + 3;
+  state.window_cursor = 0;
+  state.last_epoch_loss = 0.25f * static_cast<float>(epoch);
+  state.rng.s = {1ull, 2ull + static_cast<uint64_t>(epoch), 3ull, 4ull};
+  state.rng.have_cached_normal = true;
+  state.rng.cached_normal = -0.75;
+  state.adam_t = epoch * 2;
+  state.order = {3, 0, 2, 1, 4};
+  state.shapes = {{2, 2}, {3}};
+  state.params = {{1.0f, 2.0f, 3.0f, 4.0f}, {-1.0f, 0.5f, 9.0f}};
+  state.adam_m = {{0.1f, 0.2f, 0.3f, 0.4f}, {0.0f, 0.0f, 1.0f}};
+  state.adam_v = {{0.5f, 0.5f, 0.5f, 0.5f}, {2.0f, 2.0f, 2.0f}};
+  return state;
+}
+
+void ExpectStatesEqual(const TrainerState& a, const TrainerState& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.opt_step, b.opt_step);
+  EXPECT_EQ(a.window_cursor, b.window_cursor);
+  EXPECT_EQ(a.last_epoch_loss, b.last_epoch_loss);
+  EXPECT_EQ(a.rng.s, b.rng.s);
+  EXPECT_EQ(a.rng.have_cached_normal, b.rng.have_cached_normal);
+  EXPECT_EQ(a.rng.cached_normal, b.rng.cached_normal);
+  EXPECT_EQ(a.adam_t, b.adam_t);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.shapes, b.shapes);
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.adam_m, b.adam_m);
+  EXPECT_EQ(a.adam_v, b.adam_v);
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const std::string dir = MakeTempDir("ckpt_rt");
+  const std::string path = dir + "/ckpt-000001.bin";
+  const TrainerState state = MakeState(1);
+  ASSERT_TRUE(SaveCheckpoint(nullptr, path, state).ok());
+  auto loaded = LoadCheckpoint(nullptr, path, state.fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectStatesEqual(state, *loaded);
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, FingerprintMismatchNamesBothConfigs) {
+  const std::string dir = MakeTempDir("ckpt_fp");
+  const std::string path = dir + "/ckpt-000001.bin";
+  ASSERT_TRUE(SaveCheckpoint(nullptr, path, MakeState(1)).ok());
+  auto loaded = LoadCheckpoint(nullptr, path, "test-model d=8");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("test-model d=4"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("test-model d=8"),
+            std::string::npos);
+  RemoveDirRecursive(dir);
+}
+
+// Sweep the hard-failure point across every byte of the checkpoint write:
+// the save must fail, the destination must stay absent, and the previous
+// checkpoint must keep loading.
+TEST(CheckpointTest, FaultSweepWriteErrorNeverLosesPreviousCheckpoint) {
+  const std::string dir = MakeTempDir("ckpt_sweep");
+  FaultInjectionEnv env(Env::Default());
+
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep_last = 3;
+  config.env = &env;
+  CheckpointManager manager(config, "test-model d=4");
+  const TrainerState epoch1 = MakeState(1);
+  ASSERT_TRUE(manager.Save(epoch1).ok());
+
+  // Measure the full write size with a no-fault plan.
+  env.SetPlan({});
+  ASSERT_TRUE(manager.Save(MakeState(2)).ok());
+  const int64_t total_bytes = env.bytes_attempted();
+  ASSERT_GT(total_bytes, 0);
+  ASSERT_TRUE(env.DeleteFile(manager.PathForEpoch(2)).ok());
+
+  for (int64_t fail_at = 0; fail_at < total_bytes; ++fail_at) {
+    FaultPlan plan;
+    plan.fail_after_bytes = fail_at;
+    plan.mode = FaultPlan::Mode::kError;
+    env.SetPlan(plan);
+    EXPECT_FALSE(manager.Save(MakeState(2)).ok()) << "fail_at=" << fail_at;
+    EXPECT_FALSE(env.FileExists(manager.PathForEpoch(2)))
+        << "torn destination at fail_at=" << fail_at;
+
+    env.SetPlan({});
+    auto latest = manager.LoadLatest();
+    ASSERT_TRUE(latest.ok()) << "fail_at=" << fail_at << ": "
+                             << latest.status().ToString();
+    EXPECT_EQ(latest->epoch, 1) << "fail_at=" << fail_at;
+  }
+  RemoveDirRecursive(dir);
+}
+
+// Torn-write sweep: bytes past the failpoint are silently dropped but every
+// IO call reports success (power loss between write() and the data becoming
+// durable). The loader must either see a fully valid checkpoint or skip the
+// torn file and fall back to the previous epoch.
+TEST(CheckpointTest, FaultSweepSilentTruncationAlwaysRecovers) {
+  const std::string dir = MakeTempDir("ckpt_torn");
+  FaultInjectionEnv env(Env::Default());
+
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep_last = 3;
+  config.env = &env;
+  CheckpointManager manager(config, "test-model d=4");
+  ASSERT_TRUE(manager.Save(MakeState(1)).ok());
+
+  env.SetPlan({});
+  ASSERT_TRUE(manager.Save(MakeState(2)).ok());
+  const int64_t total_bytes = env.bytes_attempted();
+  ASSERT_TRUE(env.DeleteFile(manager.PathForEpoch(2)).ok());
+
+  // Stride 1 over the whole envelope: header, payload and trailing CRC.
+  for (int64_t cut = 0; cut < total_bytes; ++cut) {
+    env.DeleteFile(manager.PathForEpoch(2));  // fresh torn file per cut
+    FaultPlan plan;
+    plan.fail_after_bytes = cut;
+    plan.mode = FaultPlan::Mode::kSilentTruncate;
+    env.SetPlan(plan);
+    manager.Save(MakeState(2));  // reports OK: the tear is silent
+
+    env.SetPlan({});
+    // The torn file itself must never parse as valid.
+    auto torn = LoadCheckpoint(&env, manager.PathForEpoch(2), "");
+    EXPECT_FALSE(torn.ok()) << "torn checkpoint parsed at cut=" << cut;
+    // And recovery must land on the intact previous checkpoint.
+    auto latest = manager.LoadLatest();
+    ASSERT_TRUE(latest.ok()) << "cut=" << cut;
+    EXPECT_EQ(latest->epoch, 1) << "cut=" << cut;
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, SyncAndRenameFailuresLeaveDestinationUntouched) {
+  const std::string dir = MakeTempDir("ckpt_sync");
+  FaultInjectionEnv env(Env::Default());
+
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep_last = 3;
+  config.env = &env;
+  CheckpointManager manager(config, "test-model d=4");
+  ASSERT_TRUE(manager.Save(MakeState(1)).ok());
+
+  FaultPlan sync_fail;
+  sync_fail.fail_on_sync = true;
+  env.SetPlan(sync_fail);
+  EXPECT_FALSE(manager.Save(MakeState(2)).ok());
+  EXPECT_FALSE(env.FileExists(manager.PathForEpoch(2)));
+
+  FaultPlan rename_fail;
+  rename_fail.fail_on_rename = true;
+  env.SetPlan(rename_fail);
+  EXPECT_FALSE(manager.Save(MakeState(2)).ok());
+  EXPECT_FALSE(env.FileExists(manager.PathForEpoch(2)));
+
+  env.SetPlan({});
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->epoch, 1);
+  RemoveDirRecursive(dir);
+}
+
+// Fuzz the loader directly: every truncation length and every single-bit
+// flip of a valid checkpoint file must yield a clean error Status (the
+// envelope CRC covers the payload; the header fields are validated).
+TEST(CheckpointTest, FuzzTruncatedFilesRejectedCleanly) {
+  const std::string dir = MakeTempDir("ckpt_fuzz_t");
+  const std::string valid_path = dir + "/ckpt-000001.bin";
+  ASSERT_TRUE(SaveCheckpoint(nullptr, valid_path, MakeState(1)).ok());
+  auto bytes = Env::Default()->ReadFileToString(valid_path);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string fuzz_path = dir + "/fuzz.bin";
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    {
+      std::ofstream out(fuzz_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes->data(), static_cast<std::streamsize>(len));
+    }
+    auto loaded = LoadCheckpoint(nullptr, fuzz_path, "");
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << len << " bytes parsed";
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, FuzzBitFlipsRejectedCleanly) {
+  const std::string dir = MakeTempDir("ckpt_fuzz_b");
+  const std::string valid_path = dir + "/ckpt-000001.bin";
+  ASSERT_TRUE(SaveCheckpoint(nullptr, valid_path, MakeState(1)).ok());
+  auto bytes = Env::Default()->ReadFileToString(valid_path);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string fuzz_path = dir + "/fuzz.bin";
+  for (size_t pos = 0; pos < bytes->size(); ++pos) {
+    for (int bit = 0; bit < 8; bit += 3) {  // 3 bits per byte keeps it fast
+      std::string corrupted = *bytes;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+      {
+        std::ofstream out(fuzz_path, std::ios::binary | std::ios::trunc);
+        out.write(corrupted.data(),
+                  static_cast<std::streamsize>(corrupted.size()));
+      }
+      auto loaded = LoadCheckpoint(nullptr, fuzz_path, "");
+      EXPECT_FALSE(loaded.ok())
+          << "bit flip at byte " << pos << " bit " << bit << " parsed";
+    }
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, RotationKeepsNewestK) {
+  const std::string dir = MakeTempDir("ckpt_rot");
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep_last = 2;
+  CheckpointManager manager(config, "test-model d=4");
+  for (int64_t epoch = 1; epoch <= 5; ++epoch) {
+    ASSERT_TRUE(manager.Save(MakeState(epoch)).ok());
+  }
+  EXPECT_EQ(manager.ListEpochs(), (std::vector<int64_t>{4, 5}));
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->epoch, 5);
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, LoadLatestSkipsCorruptNewest) {
+  const std::string dir = MakeTempDir("ckpt_skip");
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep_last = 3;
+  CheckpointManager manager(config, "test-model d=4");
+  ASSERT_TRUE(manager.Save(MakeState(1)).ok());
+  ASSERT_TRUE(manager.Save(MakeState(2)).ok());
+  {
+    std::ofstream out(manager.PathForEpoch(2),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->epoch, 1);
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointTest, LoadLatestOnEmptyDirIsNotFound) {
+  const std::string dir = MakeTempDir("ckpt_empty");
+  CheckpointConfig config;
+  config.dir = dir;
+  CheckpointManager manager(config, "");
+  auto latest = manager.LoadLatest();
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kNotFound);
+  RemoveDirRecursive(dir);
+}
+
+TEST(EnvelopeTest, WrongMagicAndVersionRejected) {
+  const std::string dir = MakeTempDir("env_magic");
+  const std::string path = dir + "/file.bin";
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteEnvelopeFile(env, path, 0x1111, 3, "payload").ok());
+  EXPECT_TRUE(ReadEnvelopeFile(env, path, 0x1111, 3, 3).ok());
+  EXPECT_FALSE(ReadEnvelopeFile(env, path, 0x2222, 3, 3).ok());  // magic
+  EXPECT_FALSE(ReadEnvelopeFile(env, path, 0x1111, 4, 9).ok());  // version
+  auto magic = PeekFileMagic(env, path);
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(*magic, 0x1111u);
+  RemoveDirRecursive(dir);
+}
+
+}  // namespace
+}  // namespace stisan::train

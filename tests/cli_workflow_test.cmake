@@ -18,11 +18,44 @@ run_cli(evaluate --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model.bin
 run_cli(recommend --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model.bin
         --user 1 --k 5 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8)
 
-# Mismatched architecture must fail cleanly.
+# Mismatched architecture must fail cleanly, naming both configurations.
 execute_process(COMMAND ${CLI} evaluate --data ${WORKDIR}/city.csv
                 --ckpt ${WORKDIR}/model.bin --min-user 5 --min-poi 2
                 --poi-dim 16 --geo-dim 16 RESULT_VARIABLE code
-                OUTPUT_QUIET ERROR_QUIET)
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(code EQUAL 0)
   message(FATAL_ERROR "evaluate with wrong dims unexpectedly succeeded")
+endif()
+if(NOT err MATCHES "config mismatch" OR NOT err MATCHES "poi_dim=8"
+   OR NOT err MATCHES "poi_dim=16")
+  message(FATAL_ERROR "dim mismatch error does not name both configs:\n${err}")
+endif()
+
+# seq-len changes no parameter shape; only the checkpoint fingerprint can
+# catch evaluating with a different training window length.
+execute_process(COMMAND ${CLI} evaluate --data ${WORKDIR}/city.csv
+                --ckpt ${WORKDIR}/model.bin --min-user 5 --min-poi 2
+                --poi-dim 8 --geo-dim 8 --seq-len 16 RESULT_VARIABLE code
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "evaluate with wrong --seq-len unexpectedly succeeded")
+endif()
+if(NOT err MATCHES "config mismatch" OR NOT err MATCHES "seq_len=32"
+   OR NOT err MATCHES "seq_len=16")
+  message(FATAL_ERROR "seq-len mismatch error does not name both configs:\n${err}")
+endif()
+
+# Crash-safe checkpointing: interrupt-free ckpt-every run leaves a rotating
+# checkpoint directory, and --resume 1 continues from it.
+run_cli(train --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model2.bin
+        --epochs 2 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8
+        --ckpt-every 1 --keep-ckpts 2)
+if(NOT EXISTS ${WORKDIR}/model2.bin.d/ckpt-000002.bin)
+  message(FATAL_ERROR "ckpt-every did not write epoch checkpoints")
+endif()
+run_cli(train --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model2.bin
+        --epochs 3 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8
+        --ckpt-every 1 --keep-ckpts 2 --resume 1)
+if(NOT EXISTS ${WORKDIR}/model2.bin.d/ckpt-000003.bin)
+  message(FATAL_ERROR "resumed run did not extend the checkpoint series")
 endif()

@@ -277,6 +277,63 @@ TEST(CsvTest, MalformedRows) {
   std::remove(path.c_str());
 }
 
+// Each rejection must carry the offending line number and name the bad
+// field, so a 10M-row ingest failure is actionable.
+TEST(CsvTest, ErrorsNameFieldAndLineNumber) {
+  const std::string path = "/tmp/stisan_csv_field.csv";
+  auto write = [&](const char* contents) {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("u1,p1,43.8,125.3,100\n", f);  // valid line 1
+    fputs(contents, f);                  // offending line 2
+    fclose(f);
+  };
+  auto expect_rejected = [&](const char* needle) {
+    auto r = LoadCsv(path, "x");
+    ASSERT_FALSE(r.ok()) << "accepted row with " << needle;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find(":2:"), std::string::npos)
+        << "missing line number in: " << r.status().message();
+    EXPECT_NE(r.status().message().find(needle), std::string::npos)
+        << "missing '" << needle << "' in: " << r.status().message();
+  };
+
+  write("u1,p1,43.8,125.3\n");  // truncated row
+  expect_rejected("expected 5 fields");
+  write("u1,p1,43.8,125.3,abc\n");
+  expect_rejected("timestamp");
+  write("u1,p1,4x.8,125.3,100\n");
+  expect_rejected("latitude");
+  write("u1,p1,43.8,12x.3,100\n");
+  expect_rejected("longitude");
+  write("u1,p1,91.0,125.3,100\n");
+  expect_rejected("out of range");
+  write("u1,p1,43.8,181.0,100\n");
+  expect_rejected("out of range");
+  write("u1,,43.8,125.3,100\n");
+  expect_rejected("empty user or poi");
+  std::remove(path.c_str());
+}
+
+// NaN compares false against range bounds, so it needs an explicit
+// isfinite check to be caught.
+TEST(CsvTest, NonFiniteValuesRejected) {
+  const std::string path = "/tmp/stisan_csv_nonfinite.csv";
+  auto rejects = [&](const char* row) {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(row, f);
+    fclose(f);
+    auto r = LoadCsv(path, "x");
+    ASSERT_FALSE(r.ok()) << "accepted: " << row;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  };
+  rejects("u1,p1,nan,125.3,100\n");
+  rejects("u1,p1,43.8,nan,100\n");
+  rejects("u1,p1,inf,125.3,100\n");
+  rejects("u1,p1,43.8,125.3,nan\n");
+  rejects("u1,p1,43.8,125.3,inf\n");
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, HeaderSkippedAndSorted) {
   const std::string path = "/tmp/stisan_csv_header.csv";
   {

@@ -1,0 +1,156 @@
+// The headline crash-safety guarantee, pinned on the golden pipeline
+// configuration: kill training at an epoch boundary, resume in a fresh
+// model, and both the final parameters and the evaluation metrics are
+// BIT-IDENTICAL to an uninterrupted run — compared exactly (EXPECT_EQ on
+// floats/doubles, i.e. %.17g-grade), at kernel thread counts 1 and 4.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "tensor/kernels.h"
+#include "train/signal.h"
+#include "util/io_env.h"
+
+namespace stisan {
+namespace {
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/stisan_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir ? std::string(dir) : std::string();
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& name : *names) env->DeleteFile(dir + "/" + name);
+  }
+  rmdir(dir.c_str());
+}
+
+// The golden-metrics pipeline configuration (tools/golden_pipeline.h) plus
+// checkpointing knobs.
+core::StisanOptions PinnedOptions(const std::string& ckpt_dir, bool resume) {
+  core::StisanOptions options;
+  options.poi_dim = 8;
+  options.geo.dim = 8;
+  options.geo.fourier_dim = 4;
+  options.num_blocks = 1;
+  options.train.epochs = 2;
+  options.train.seed = 20220501;
+  options.train.max_train_windows = 60;
+  options.train.checkpoint.dir = ckpt_dir;
+  options.train.checkpoint.resume = resume;
+  return options;
+}
+
+struct PipelineOutcome {
+  std::vector<float> params;
+  std::map<std::string, double> metrics;
+  train::TrainResult train_result;
+};
+
+// Runs generate -> train -> evaluate. When `interrupt` is set, a stop is
+// requested from the first epoch's on_epoch callback, which kills training
+// at the epoch-1 boundary (checkpoint written, eval skipped).
+PipelineOutcome RunPipeline(const std::string& ckpt_dir, bool resume,
+                            bool interrupt) {
+  auto dataset = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+  auto split = data::TrainTestSplit(dataset, {.max_seq_len = 12});
+
+  core::StisanOptions options = PinnedOptions(ckpt_dir, resume);
+  if (interrupt) {
+    options.train.on_epoch = [](const train::EpochStats& stats) {
+      if (stats.epoch == 0) train::RequestStop();
+      return true;
+    };
+  }
+  core::StisanModel model(dataset, options);
+  model.Fit(dataset, split.train);
+
+  PipelineOutcome out;
+  out.train_result = model.last_train_result();
+  for (const Tensor& p : model.Parameters()) {
+    const auto v = p.ToVector();
+    out.params.insert(out.params.end(), v.begin(), v.end());
+  }
+  if (!out.train_result.interrupted) {
+    eval::CandidateGenerator generator(dataset);
+    eval::EvalOptions eval_options;
+    eval_options.num_negatives = 50;
+    eval_options.batch_size = 8;
+    auto acc = eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                              split.test, generator, eval_options);
+    out.metrics = acc.Means();
+    out.metrics["MRR"] = acc.MeanReciprocalRank();
+  }
+  return out;
+}
+
+class ResumeDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { train::ClearStopRequest(); }
+  void TearDown() override {
+    train::ClearStopRequest();
+    kernels::SetNumThreads(1);
+  }
+};
+
+TEST_P(ResumeDeterminismTest, KillAtEpochBoundaryThenResumeIsBitIdentical) {
+  kernels::SetNumThreads(GetParam());
+
+  // Reference: uninterrupted two-epoch run, no checkpointing in the loop.
+  PipelineOutcome reference = RunPipeline("", false, false);
+  ASSERT_TRUE(reference.train_result.status.ok())
+      << reference.train_result.status.ToString();
+  ASSERT_EQ(reference.train_result.epochs_completed, 2);
+  ASSERT_FALSE(reference.metrics.empty());
+
+  // Kill after epoch 1, in a process-fresh model resume and finish.
+  const std::string dir = MakeTempDir("resume_det");
+  PipelineOutcome killed = RunPipeline(dir, false, true);
+  ASSERT_TRUE(killed.train_result.status.ok())
+      << killed.train_result.status.ToString();
+  ASSERT_TRUE(killed.train_result.interrupted);
+  ASSERT_EQ(killed.train_result.epochs_completed, 1);
+
+  train::ClearStopRequest();
+  PipelineOutcome resumed = RunPipeline(dir, true, false);
+  ASSERT_TRUE(resumed.train_result.status.ok())
+      << resumed.train_result.status.ToString();
+  ASSERT_TRUE(resumed.train_result.resumed);
+  ASSERT_FALSE(resumed.train_result.interrupted);
+  ASSERT_EQ(resumed.train_result.epochs_completed, 2);
+
+  // Exact comparison: every parameter bit and every metric digit.
+  ASSERT_EQ(reference.params.size(), resumed.params.size());
+  for (size_t i = 0; i < reference.params.size(); ++i) {
+    ASSERT_EQ(reference.params[i], resumed.params[i]) << "param elem " << i;
+  }
+  ASSERT_EQ(reference.metrics.size(), resumed.metrics.size());
+  for (const auto& [name, value] : reference.metrics) {
+    ASSERT_TRUE(resumed.metrics.contains(name)) << name;
+    EXPECT_EQ(value, resumed.metrics.at(name)) << name;
+  }
+  RemoveDirRecursive(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ResumeDeterminismTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace stisan

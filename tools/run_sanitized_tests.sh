@@ -8,6 +8,11 @@
 # build-asan/ and build-ubsan/); the matching test presets run only
 # "unit"-labeled tests, skipping the end-to-end CLI/tool smoke tests
 # whose sanitized runtimes are excessive on one core.
+#
+# After the unit pass, the "robustness" suite (fault-injection sweeps,
+# checkpoint fuzzing, kill/resume determinism) is re-run as an explicit
+# gate: torn-write and truncated-buffer handling is exactly where the
+# sanitizers catch out-of-bounds reads that a plain run would miss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +23,11 @@ for preset in "${presets[@]}"; do
   echo "==== ${preset}: configure + build ===="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
-  echo "==== ${preset}: ctest ===="
+  echo "==== ${preset}: ctest (unit) ===="
   ctest --preset "${preset}"
+  echo "==== ${preset}: ctest (robustness gate) ===="
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   ctest -L robustness --output-on-failure)
 done

@@ -16,6 +16,7 @@
 // train and evaluate/recommend; it is controlled by the same flags and
 // defaults in both.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -26,6 +27,7 @@
 #include "data/preprocess.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "train/signal.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -81,6 +83,10 @@ void PrintUsage() {
       "             [--poi-dim N] [--geo-dim N] [--blocks N] [--lr F]\n"
       "             [--negatives N] [--temperature F] [--kt-days F]\n"
       "             [--kd-km F] [--min-user N] [--min-poi N] [--verbose 1]\n"
+      "             [--ckpt-every N] [--keep-ckpts K] [--resume 1]\n"
+      "             (--ckpt-every enables crash-safe epoch checkpoints in\n"
+      "              FILE.d; --resume continues from the newest valid one;\n"
+      "              SIGINT/SIGTERM checkpoint gracefully and exit 130)\n"
       "  evaluate   --data FILE --ckpt FILE [same model flags as train]\n"
       "  recommend  --data FILE --ckpt FILE --user N [--k N]\n"
       "             [same model flags as train]\n\n"
@@ -105,6 +111,15 @@ core::StisanOptions ModelOptions(const Args& args) {
   opts.train.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   opts.train.verbose = args.GetInt("verbose", 0) != 0;
   return opts;
+}
+
+// Checkpoint fingerprint: the model architecture plus the training window
+// length. seq-len does not change parameter shapes, so only the fingerprint
+// can catch evaluating a checkpoint with a different --seq-len.
+std::string CheckpointFingerprint(const core::StisanModel& model,
+                                  int64_t seq_len) {
+  return model.ConfigFingerprint() +
+         StrFormat(" seq_len=%lld", static_cast<long long>(seq_len));
 }
 
 Result<data::Dataset> LoadAndFilter(const Args& args) {
@@ -175,14 +190,43 @@ int Train(const Args& args) {
   std::printf("train windows: %zu, test instances: %zu\n",
               split.train.size(), split.test.size());
 
-  core::StisanModel model(*dataset, ModelOptions(args));
+  core::StisanOptions opts = ModelOptions(args);
+  const int64_t ckpt_every = args.GetInt("ckpt-every", 0);
+  const bool resume = args.GetInt("resume", 0) != 0;
+  if (ckpt_every > 0 || resume) {
+    opts.train.checkpoint.dir = ckpt + ".d";
+    opts.train.checkpoint.every_epochs = std::max<int64_t>(1, ckpt_every);
+    opts.train.checkpoint.keep_last =
+        std::max<int64_t>(1, args.GetInt("keep-ckpts", 3));
+    opts.train.checkpoint.resume = resume;
+  }
+  train::InstallStopSignalHandlers();
+
+  core::StisanModel model(*dataset, opts);
   Stopwatch watch;
   model.Fit(*dataset, split.train);
+  const train::TrainResult& result = model.last_train_result();
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+  if (result.resumed) {
+    std::printf("resumed from %s\n", opts.train.checkpoint.dir.c_str());
+  }
+  if (result.interrupted) {
+    std::printf("interrupted after %lld completed epochs%s\n",
+                static_cast<long long>(result.epochs_completed),
+                opts.train.checkpoint.dir.empty()
+                    ? ""
+                    : "; rerun with --resume 1 to continue");
+    return 130;
+  }
   std::printf("trained %lld epochs in %.1fs (final loss %.4f)\n",
-              static_cast<long long>(ModelOptions(args).train.epochs),
+              static_cast<long long>(result.epochs_completed),
               watch.ElapsedSeconds(), model.last_epoch_loss());
 
-  Status st = model.SaveParameters(ckpt);
+  Status st = model.SaveParameters(
+      ckpt, CheckpointFingerprint(model, seq_len));
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
@@ -204,7 +248,8 @@ int Evaluate(const Args& args) {
   core::StisanModel model(*dataset, ModelOptions(args));
   const std::string ckpt = args.Get("ckpt", "");
   if (!ckpt.empty()) {
-    Status st = model.LoadParameters(ckpt);
+    Status st =
+        model.LoadParameters(ckpt, CheckpointFingerprint(model, seq_len));
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -248,7 +293,8 @@ int Recommend(const Args& args) {
   core::StisanModel model(*dataset, ModelOptions(args));
   const std::string ckpt = args.Get("ckpt", "");
   if (!ckpt.empty()) {
-    Status st = model.LoadParameters(ckpt);
+    Status st =
+        model.LoadParameters(ckpt, CheckpointFingerprint(model, seq_len));
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
