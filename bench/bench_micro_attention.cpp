@@ -11,10 +11,19 @@
 // effective worker count in the "threads" counter, so serial vs threaded
 // forwards can be compared from one binary.
 
+// The *Lowering* benchmarks compare the composed per-op attention path
+// (STISAN_FUSED_ATTENTION=0) against the fused one-node lowering, forward
+// and forward+backward, at (n, heads). BM_AttentionOp* measure the raw op
+// chain without the q/k/v projection GEMMs so the fusion speedup is not
+// diluted; the checked-in BENCH_attention.json captures one JSON run.
+
 #include <benchmark/benchmark.h>
+
+#include <cmath>
 
 #include "core/iaab.h"
 #include "core/relation.h"
+#include "nn/attention.h"
 #include "tensor/kernels.h"
 
 namespace stisan::core {
@@ -102,6 +111,102 @@ void BM_StisanEncoderTrainStepThreads(benchmark::State& state) {
   RunEncoderThreads(state, true);
 }
 BENCHMARK(BM_StisanEncoderTrainStepThreads)->Args({100, 1})->Args({100, 0});
+
+// Composed-vs-fused lowering of a full CausalSelfAttention module
+// (projections + attention core) at (n, heads), d=32.
+void RunLowering(benchmark::State& state, bool fused, bool backward) {
+  const int64_t n = state.range(0);
+  const int64_t heads = state.range(1);
+  const int64_t d = 32;
+  ops::SetFusedAttentionEnabled(fused ? 1 : 0);
+  Rng rng(11);
+  nn::CausalSelfAttention attn(d, /*dropout=*/0.0f, rng, /*causal=*/true,
+                               /*identity_init_values=*/false, heads);
+  attn.SetTraining(false);
+  Tensor bias = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+  for (auto _ : state) {
+    Tensor x = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor out = attn.Forward(x, bias, rng);
+    if (backward) {
+      ops::Sum(ops::Square(out)).Backward();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  ops::SetFusedAttentionEnabled(-1);
+}
+
+#define STISAN_LOWERING_ARGS \
+  ->Args({32, 1})->Args({64, 1})->Args({128, 1})->Args({32, 2})->Args({64, 2})->Args({128, 2})
+
+void BM_ComposedAttentionForward(benchmark::State& state) {
+  RunLowering(state, /*fused=*/false, /*backward=*/false);
+}
+BENCHMARK(BM_ComposedAttentionForward) STISAN_LOWERING_ARGS;
+
+void BM_FusedAttentionForward(benchmark::State& state) {
+  RunLowering(state, /*fused=*/true, /*backward=*/false);
+}
+BENCHMARK(BM_FusedAttentionForward) STISAN_LOWERING_ARGS;
+
+void BM_ComposedAttentionTrainStep(benchmark::State& state) {
+  RunLowering(state, /*fused=*/false, /*backward=*/true);
+}
+BENCHMARK(BM_ComposedAttentionTrainStep) STISAN_LOWERING_ARGS;
+
+void BM_FusedAttentionTrainStep(benchmark::State& state) {
+  RunLowering(state, /*fused=*/true, /*backward=*/true);
+}
+BENCHMARK(BM_FusedAttentionTrainStep) STISAN_LOWERING_ARGS;
+
+// Raw attention core softmax(qkᵀ·scale + mask + bias)v without the
+// projection GEMMs: the composed op chain exactly as HeadAttention builds
+// it vs the single fused node.
+void RunAttentionOp(benchmark::State& state, bool fused, bool backward) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  const float scale = 1.0f / std::sqrt(float(d));
+  Rng rng(13);
+  Tensor bias = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+  for (auto _ : state) {
+    Tensor q = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor k = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor v = Tensor::Randn({n, d}, rng, 1.0f, backward);
+    Tensor out;
+    if (fused) {
+      out = ops::FusedAttention(q, k, v, bias, /*causal=*/true, scale);
+    } else {
+      Tensor logits =
+          ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)), scale);
+      logits = logits + nn::BuildCausalMask(n);
+      logits = logits + bias;
+      out = ops::MatMul(ops::Softmax(logits), v);
+    }
+    if (backward) {
+      ops::Sum(ops::Square(out)).Backward();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_AttentionOpComposedForward(benchmark::State& state) {
+  RunAttentionOp(state, /*fused=*/false, /*backward=*/false);
+}
+BENCHMARK(BM_AttentionOpComposedForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionOpFusedForward(benchmark::State& state) {
+  RunAttentionOp(state, /*fused=*/true, /*backward=*/false);
+}
+BENCHMARK(BM_AttentionOpFusedForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionOpComposedTrainStep(benchmark::State& state) {
+  RunAttentionOp(state, /*fused=*/false, /*backward=*/true);
+}
+BENCHMARK(BM_AttentionOpComposedTrainStep)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionOpFusedTrainStep(benchmark::State& state) {
+  RunAttentionOp(state, /*fused=*/true, /*backward=*/true);
+}
+BENCHMARK(BM_AttentionOpFusedTrainStep)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_RelationMatrixBuild(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -49,4 +49,23 @@ Tensor SoftmaxScaleRelation(const Tensor& relation, int64_t first_real);
 /// rows still have one live key), else -1e9.
 Tensor BuildPaddedCausalMask(int64_t n, int64_t first_real);
 
+/// Memoised SoftmaxScaleRelation(BuildRelationMatrix(...)): the scaled
+/// relation matrix is a pure function of the window content, and training
+/// revisits the same windows every epoch, so an LRU keyed on the full
+/// (pois, timestamps, coords, first_real, options) tuple (exact equality,
+/// not just the hash) skips the O(n²) haversine/softmax rebuild. Cached
+/// tensors are gradient-free and shared — callers must not mutate them.
+Tensor CachedScaledRelation(const std::vector<int64_t>& pois,
+                            const std::vector<double>& timestamps,
+                            const std::vector<geo::GeoPoint>& coords,
+                            int64_t first_real,
+                            const RelationOptions& options);
+
+/// Hit/miss counters of the relation LRU (for tests and benchmarks).
+struct RelationCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+RelationCacheStats GetRelationCacheStats();
+
 }  // namespace stisan::core

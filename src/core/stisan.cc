@@ -106,10 +106,9 @@ Tensor StisanModel::RelationBias(const std::vector<int64_t>& pois,
                                  const std::vector<double>& timestamps,
                                  int64_t first_real) const {
   if (options_.attention_mode == AttentionMode::kVanilla) return Tensor();
-  Tensor raw = BuildRelationMatrix(pois, timestamps,
-                                   WindowCoords(*dataset_, pois), first_real,
-                                   options_.relation);
-  return SoftmaxScaleRelation(raw, first_real);
+  // LRU-cached: training revisits the same windows every epoch.
+  return CachedScaledRelation(pois, timestamps, WindowCoords(*dataset_, pois),
+                              first_real, options_.relation);
 }
 
 Tensor StisanModel::Encode(const std::vector<int64_t>& pois,
@@ -150,7 +149,7 @@ Tensor StisanModel::EncodeBatch(
     const auto* inst = instances[static_cast<size_t>(b)];
     pe[static_cast<size_t>(b)] =
         options_.use_tape
-            ? nn::SinusoidalEncoding(
+            ? CachedSinusoidalEncoding(
                   TimeAwarePositions(inst->t, inst->first_real), dim_)
             : nn::VanillaPositionalEncoding(n, dim_);
   }

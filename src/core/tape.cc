@@ -1,11 +1,42 @@
 #include "core/tape.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/layers.h"
 #include "util/check.h"
+#include "util/lru_cache.h"
 
 namespace stisan::core {
+
+namespace {
+
+struct PositionsKey {
+  std::vector<double> positions;
+  int64_t dim = 0;
+
+  bool operator==(const PositionsKey& o) const {
+    return dim == o.dim && positions == o.positions;
+  }
+};
+
+struct PositionsKeyHash {
+  size_t operator()(const PositionsKey& k) const {
+    uint64_t h = Fnv1aBytes(k.positions.data(),
+                            k.positions.size() * sizeof(double));
+    h = Fnv1aBytes(&k.dim, sizeof(k.dim), h);
+    return static_cast<size_t>(h);
+  }
+};
+
+LruCache<PositionsKey, Tensor, PositionsKeyHash>& TapeCache() {
+  // Leaked: see RelationCache() — outlives arena/static teardown.
+  static auto* cache =
+      new LruCache<PositionsKey, Tensor, PositionsKeyHash>(256);
+  return *cache;
+}
+
+}  // namespace
 
 std::vector<double> TimeAwarePositions(const std::vector<double>& timestamps,
                                        int64_t first_real) {
@@ -41,12 +72,29 @@ Tensor ApplyTape(const Tensor& x, const std::vector<double>& timestamps,
   STISAN_CHECK_EQ(x.dim(), 2);
   STISAN_CHECK_EQ(x.size(0), static_cast<int64_t>(timestamps.size()));
   const auto pos = TimeAwarePositions(timestamps, first_real);
-  return x + nn::SinusoidalEncoding(pos, x.size(1));
+  return x + CachedSinusoidalEncoding(pos, x.size(1));
 }
 
 Tensor ApplyVanillaPe(const Tensor& x) {
   STISAN_CHECK_EQ(x.dim(), 2);
-  return x + nn::VanillaPositionalEncoding(x.size(0), x.size(1));
+  // Integer positions 1..n go through the same cache (one entry per n).
+  const int64_t n = x.size(0);
+  std::vector<double> pos(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) pos[size_t(k)] = double(k + 1);
+  return x + CachedSinusoidalEncoding(pos, x.size(1));
+}
+
+Tensor CachedSinusoidalEncoding(const std::vector<double>& positions,
+                                int64_t dim) {
+  PositionsKey key{positions, dim};
+  if (auto hit = TapeCache().Get(key)) return *hit;
+  Tensor table = nn::SinusoidalEncoding(positions, dim);
+  TapeCache().Put(std::move(key), table);
+  return table;
+}
+
+TapeCacheStats GetTapeCacheStats() {
+  return {TapeCache().hits(), TapeCache().misses()};
 }
 
 }  // namespace stisan::core

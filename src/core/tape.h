@@ -36,4 +36,18 @@ Tensor ApplyTape(const Tensor& x, const std::vector<double>& timestamps,
 /// Vanilla counterpart used by ablations: x + sinusoidal PE over 1..n.
 Tensor ApplyVanillaPe(const Tensor& x);
 
+/// Memoised nn::SinusoidalEncoding keyed on the full (positions, dim)
+/// content (LRU, exact-equality compare): TAPE tables repeat across epochs
+/// and eval batches, so the O(n·d) sin/cos rebuild is skipped on a hit.
+/// Cached tensors are gradient-free and shared — callers must not mutate.
+Tensor CachedSinusoidalEncoding(const std::vector<double>& positions,
+                                int64_t dim);
+
+/// Hit/miss counters of the position-table LRU (tests and benchmarks).
+struct TapeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+TapeCacheStats GetTapeCacheStats();
+
 }  // namespace stisan::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "tensor/arena.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -60,6 +61,8 @@ MetricAccumulator Evaluate(BatchScorer& scorer,
                            const CandidateGenerator& candidates,
                            const EvalOptions& options) {
   MetricAccumulator acc(options.cutoffs);
+  // Batch k+1 reuses the activation buffers batch k freed (STISAN_ARENA=1).
+  arena::Scope arena_scope;
   const int64_t total = static_cast<int64_t>(test.size());
   const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
   ThreadPool& pool = kernels::GlobalPool();

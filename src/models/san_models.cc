@@ -88,10 +88,9 @@ Tensor SasRecModel::EncodeSource(const std::vector<int64_t>& pois,
   e = dropout_.Forward(e, rng);
   Tensor bias;
   if (extensions_.relation.has_value()) {
-    Tensor raw = core::BuildRelationMatrix(pois, timestamps,
-                                           WindowCoords(*dataset_, pois),
-                                           first_real, *extensions_.relation);
-    bias = core::SoftmaxScaleRelation(raw, first_real);
+    bias = core::CachedScaledRelation(pois, timestamps,
+                                      WindowCoords(*dataset_, pois),
+                                      first_real, *extensions_.relation);
   }
   Tensor mask = core::BuildPaddedCausalMask(n, first_real);
   return encoder_->Forward(e, bias, mask, rng);
@@ -110,7 +109,7 @@ Tensor SasRecModel::EncodeSourceBatch(
     std::vector<Tensor> pe(static_cast<size_t>(bsz));
     for (int64_t b = 0; b < bsz; ++b) {
       const auto* inst = instances[static_cast<size_t>(b)];
-      pe[static_cast<size_t>(b)] = nn::SinusoidalEncoding(
+      pe[static_cast<size_t>(b)] = core::CachedSinusoidalEncoding(
           core::TimeAwarePositions(inst->t, inst->first_real), d);
     }
     e = e + ops::Stack0(pe);
@@ -124,11 +123,9 @@ Tensor SasRecModel::EncodeSourceBatch(
     std::vector<Tensor> biases(static_cast<size_t>(bsz));
     for (int64_t b = 0; b < bsz; ++b) {
       const auto* inst = instances[static_cast<size_t>(b)];
-      Tensor raw = core::BuildRelationMatrix(
+      biases[static_cast<size_t>(b)] = core::CachedScaledRelation(
           inst->poi, inst->t, WindowCoords(*dataset_, inst->poi),
           inst->first_real, *extensions_.relation);
-      biases[static_cast<size_t>(b)] =
-          core::SoftmaxScaleRelation(raw, inst->first_real);
     }
     bias = ops::Stack0(biases);
   }

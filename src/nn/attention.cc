@@ -1,14 +1,26 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 namespace stisan::nn {
 
 Tensor BuildCausalMask(int64_t n) {
+  // Memoised per length: the mask content depends only on n and is
+  // gradient-free, so every forward of the composed path can share one
+  // tensor instead of re-materialising O(n²) floats.
+  static std::mutex mu;
+  static auto* cache = new std::unordered_map<int64_t, Tensor>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(n);
+  if (it != cache->end()) return it->second;
   Tensor mask = Tensor::Zeros({n, n});
   float* m = mask.data();
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = i + 1; j < n; ++j) m[i * n + j] = -1e9f;
+  cache->emplace(n, mask);
   return mask;
 }
 
@@ -28,7 +40,7 @@ CausalSelfAttention::CausalSelfAttention(int64_t dim, float dropout, Rng& rng,
   if (identity_init_values) {
     Tensor w = wv_.Parameters()[0];
     const Tensor id = Tensor::Identity(dim);
-    for (int64_t i = 0; i < w.numel(); ++i) w.data()[i] = id.data()[i];
+    std::copy(id.data(), id.data() + id.numel(), w.data());
   }
   RegisterModule(&wq_);
   RegisterModule(&wk_);
@@ -40,17 +52,35 @@ Tensor CausalSelfAttention::HeadAttention(const Tensor& q, const Tensor& k,
                                           const Tensor& v, const Tensor& bias,
                                           int64_t n, Rng& rng,
                                           bool with_dropout) const {
-  // TransposeLast2 yields a zero-copy view; when k is a contiguous matrix
-  // MatMul consumes it in place through the fused transposed-GEMM path.
   // The softmax scale uses the head width (last dim) for any rank.
   const int64_t dk = q.shape().back();
+  const float scale = 1.0f / std::sqrt(float(dk));
+  if (bias.defined()) {
+    STISAN_CHECK(bias.shape() == (Shape{n, n}) ||
+                 (bias.dim() == q.dim() && bias.size(-2) == n &&
+                  bias.size(-1) == n));
+  }
+  if (ops::FusedAttentionEnabled()) {
+    // Single node: causality via loop bounds, bias added inside the fused
+    // logit pass, dropout drawn from the same RNG stream as ops::Dropout.
+    ops::FusedAttentionOptions options;
+    options.causal = causal_;
+    options.scale = scale;
+    if (with_dropout) {
+      options.dropout_p = dropout_.p();
+      options.rng = &rng;
+      options.training = dropout_.training();
+    }
+    return ops::FusedAttention(q, k, v, bias, options);
+  }
+  // Composed reference path (STISAN_FUSED_ATTENTION=0): TransposeLast2
+  // yields a zero-copy view; when k is a contiguous matrix MatMul consumes
+  // it in place through the fused transposed-GEMM path.
   Tensor logits = ops::MulScalar(ops::MatMul(q, ops::TransposeLast2(k)),
-                                 1.0f / std::sqrt(float(dk)));
+                                 scale);
   if (causal_) logits = logits + BuildCausalMask(n);
   if (bias.defined()) {
     // [n, n] biases broadcast over the batch of [b, n, n] logits.
-    STISAN_CHECK(bias.shape() == (Shape{n, n}) ||
-                 bias.shape() == logits.shape());
     logits = logits + bias;
   }
   Tensor att = ops::Softmax(logits);
@@ -92,7 +122,8 @@ Tensor CausalSelfAttention::Forward(const Tensor& x, const Tensor& bias,
 Tensor CausalSelfAttention::AttentionMap(const Tensor& x,
                                          const Tensor& bias) const {
   // Probe uses the first head's map (identical to the full map when
-  // single-head).
+  // single-head). Stays on the composed ops: the fused kernel deliberately
+  // never materialises the probability matrix as a tensor.
   const int64_t n = x.size(0);
   const int64_t dk = dim_ / num_heads_;
   Tensor q = ops::Slice(wq_.Forward(x), 1, 0, dk);
@@ -109,9 +140,15 @@ Tensor CrossAttention::Forward(const Tensor& queries,
                                const Tensor& mask) const {
   STISAN_CHECK_EQ(queries.size(1), dim_);
   STISAN_CHECK_EQ(keys_values.size(1), dim_);
-  Tensor logits =
-      ops::MulScalar(ops::MatMul(queries, ops::TransposeLast2(keys_values)),
-                     1.0f / std::sqrt(float(dim_)));
+  const float scale = 1.0f / std::sqrt(float(dim_));
+  if (ops::FusedAttentionEnabled()) {
+    // Attn(C, F, F): keys and values alias one buffer; the fused backward's
+    // phase order (dV before dK) matches the composed tape.
+    return ops::FusedAttention(queries, keys_values, keys_values, mask,
+                               /*causal=*/false, scale);
+  }
+  Tensor logits = ops::MulScalar(
+      ops::MatMul(queries, ops::TransposeLast2(keys_values)), scale);
   if (mask.defined()) {
     STISAN_CHECK(mask.shape() == logits.shape());
     logits = logits + mask;

@@ -9,7 +9,10 @@
 namespace stisan::nn {
 
 /// Builds an [n, n] additive causal mask: 0 on/below the diagonal, -1e9
-/// strictly above (prevents information leakage, paper §III-D).
+/// strictly above (prevents information leakage, paper §III-D). Memoised per
+/// length behind a mutex — callers share one gradient-free tensor and must
+/// not mutate it. Only the composed (STISAN_FUSED_ATTENTION=0) path needs
+/// it; the fused kernel applies causality by loop bounds.
 Tensor BuildCausalMask(int64_t n);
 
 /// Single-head scaled dot-product self-attention with a causal mask
@@ -18,8 +21,14 @@ Tensor BuildCausalMask(int64_t n);
 ///
 /// The optional `bias` is an [n, n] additive term applied inside the
 /// softmax; passing the softmax-scaled spatial-temporal relation matrix here
-/// turns this layer into the paper's Interval Aware Attention Layer. The
-/// bias carries no parameters and receives no gradient.
+/// turns this layer into the paper's Interval Aware Attention Layer. Biases
+/// that require grad (e.g. TiSASRec's learned bucket bias) receive
+/// gradients through either lowering.
+///
+/// Lowering: by default the whole softmax(qkᵀ·scale + mask + bias)v chain
+/// runs as one ops::FusedAttention node; STISAN_FUSED_ATTENTION=0 selects
+/// the composed per-op reference path. Both produce bit-identical outputs
+/// and gradients.
 class CausalSelfAttention : public Module {
  public:
   /// `causal` = false disables the built-in causal mask (bidirectional

@@ -1,0 +1,138 @@
+#include "tensor/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace stisan::arena {
+namespace {
+
+// Buckets cover capacities 2^0 .. 2^(kNumBuckets-1) floats; anything larger
+// is never pooled (a single huge buffer would evict the whole cap).
+constexpr int kNumBuckets = 28;  // up to 2^27 floats = 512 MiB
+constexpr size_t kMaxPooledBytes = size_t{256} << 20;
+
+int FloorLog2(size_t n) {
+  int b = 0;
+  while (n >>= 1) ++b;
+  return b;
+}
+
+struct State {
+  std::mutex mutex;
+  int scope_depth = 0;
+  std::vector<std::vector<float>> buckets[kNumBuckets];
+  size_t pooled_bytes = 0;
+  Stats stats;
+
+  void DrainLocked() {
+    for (auto& bucket : buckets) bucket.clear();
+    pooled_bytes = 0;
+  }
+};
+
+// Leaked singleton: Release() runs from Storage destructors, which can fire
+// during static destruction in other translation units — the state must
+// outlive every Storage.
+State& GetState() {
+  static State* state = new State;
+  return *state;
+}
+
+std::atomic<int> g_override{-1};
+
+bool EnvEnabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("STISAN_ARENA");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return on;
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return EnvEnabled();
+}
+
+void SetEnabledForTesting(int value) {
+  g_override.store(value, std::memory_order_relaxed);
+}
+
+bool Active() {
+  if (!Enabled()) return false;
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.scope_depth > 0;
+}
+
+Scope::Scope() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  ++st.scope_depth;
+}
+
+Scope::~Scope() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (--st.scope_depth == 0) st.DrainLocked();
+}
+
+std::vector<float> AcquireZeroed(size_t n) {
+  if (n > 0 && Enabled()) {
+    State& st = GetState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (st.scope_depth > 0) {
+      // Smallest bucket whose buffers are guaranteed to hold n floats.
+      const int bucket = FloorLog2(n) + ((n & (n - 1)) != 0 ? 1 : 0);
+      if (bucket < kNumBuckets && !st.buckets[bucket].empty()) {
+        std::vector<float> buf = std::move(st.buckets[bucket].back());
+        st.buckets[bucket].pop_back();
+        st.pooled_bytes -= buf.capacity() * sizeof(float);
+        ++st.stats.hits;
+        buf.assign(n, 0.0f);  // capacity is preserved; no reallocation
+        return buf;
+      }
+      ++st.stats.misses;
+    }
+  }
+  return std::vector<float>(n, 0.0f);
+}
+
+void Release(std::vector<float>&& buffer) {
+  const size_t cap = buffer.capacity();
+  if (cap == 0 || !Enabled()) return;  // dtor frees
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.scope_depth == 0) return;
+  // A buffer parked in bucket b must satisfy any request with ceil bucket b,
+  // i.e. capacity >= 2^b, so file by floor(log2(capacity)).
+  const int bucket = FloorLog2(cap);
+  const size_t bytes = cap * sizeof(float);
+  if (bucket >= kNumBuckets || st.pooled_bytes + bytes > kMaxPooledBytes) {
+    ++st.stats.dropped;
+    return;
+  }
+  st.buckets[bucket].push_back(std::move(buffer));
+  st.pooled_bytes += bytes;
+  ++st.stats.recycled;
+}
+
+Stats GetStats() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  Stats out = st.stats;
+  out.pooled_bytes = st.pooled_bytes;
+  return out;
+}
+
+void ResetStats() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.stats = Stats{};
+}
+
+}  // namespace stisan::arena

@@ -1,0 +1,72 @@
+// Tape memory arena: a size-bucketed free-list pool for the float buffers
+// behind Storage.
+//
+// A training step (or eval batch) allocates hundreds of short-lived tape
+// temporaries whose sizes repeat exactly from step to step; without a pool
+// every one is a malloc/free round-trip. The arena recycles the underlying
+// std::vector<float> allocations: Release() parks a dead buffer in a
+// power-of-two capacity bucket, AcquireZeroed() hands it back zero-filled to
+// the next node of a compatible size.
+//
+// Semantics:
+//  - Opt-in: pooling only happens when STISAN_ARENA=1 (or a test override)
+//    AND at least one arena::Scope is alive. Otherwise Acquire/Release
+//    degrade to plain allocation/deallocation.
+//  - Scopes bound the recycling region. Trainer::Run and eval::Evaluate each
+//    install one, so buffers released by step t are reused by step t+1 and
+//    the pool drains back to the allocator when the outermost scope exits
+//    (nested scopes — an eval callback inside training — share the pool).
+//  - Recycled buffers are zero-filled before reuse, so arena on/off is
+//    bit-invisible to every computation.
+//  - Thread-safe (a mutex guards the buckets); the pooled byte total is
+//    capped so pathological size churn cannot hoard memory.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stisan::arena {
+
+/// True when STISAN_ARENA=1 (or a test override forces pooling on).
+bool Enabled();
+
+/// True when pooling is actually happening: Enabled() and >= 1 live Scope.
+bool Active();
+
+/// Test/bench override: 1 forces pooling on, 0 forces it off, -1 restores
+/// the STISAN_ARENA environment gate.
+void SetEnabledForTesting(int value);
+
+/// RAII recycle region (see file comment). Cheap; safe to nest.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+/// Returns a zero-filled buffer of size n, reusing a pooled allocation with
+/// sufficient capacity when the arena is active.
+std::vector<float> AcquireZeroed(size_t n);
+
+/// Parks `buffer`'s allocation for reuse (frees it when inactive or the
+/// pool byte cap is reached).
+void Release(std::vector<float>&& buffer);
+
+/// Counters for tests and benchmarks. `hits` counts acquisitions served
+/// from the pool, `misses` fresh allocations while active, `recycled` the
+/// buffers parked for reuse, `dropped` releases rejected by the byte cap.
+struct Stats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t recycled = 0;
+  uint64_t dropped = 0;
+  size_t pooled_bytes = 0;
+};
+Stats GetStats();
+void ResetStats();
+
+}  // namespace stisan::arena

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 namespace stisan::kernels {
 
@@ -247,6 +248,174 @@ void GatherRows(const float* w, const int64_t* ids, float* out, int64_t n,
       }
     }
   });
+}
+
+void FusedAttentionForward(const float* q, const float* k, const float* v,
+                           const float* bias, const float* drop_mask,
+                           float* probs, float* out, int64_t batch, int64_t m,
+                           int64_t n, int64_t d, bool causal, float scale,
+                           bool bias_broadcast) {
+  const int64_t rows = batch * m;
+  ParallelRanges(rows, n * (2 * d + 4), [&](int64_t t0, int64_t t1) {
+    // Inference reuses one scratch row per chunk instead of saving probs.
+    std::vector<float> scratch;
+    if (probs == nullptr) scratch.resize(static_cast<size_t>(n));
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t b = t / m;
+      const int64_t r = t % m;
+      const int64_t bound = causal ? r + 1 : n;
+      const float* qrow = q + t * d;
+      const float* kblk = k + b * n * d;
+      const float* vblk = v + b * n * d;
+      const float* brow =
+          bias == nullptr ? nullptr : bias + (bias_broadcast ? r * n : t * n);
+      float* prow = probs != nullptr ? probs + t * n : scratch.data();
+      // Logits: per element the exact accumulation order of the transposed
+      // GEMM (ascending inner dim), then · scale, then + bias.
+      for (int64_t j = 0; j < bound; ++j) {
+        const float* krow = kblk + j * d;
+        float acc = 0.0f;
+        for (int64_t c = 0; c < d; ++c) acc += qrow[c] * krow[c];
+        float x = acc * scale;
+        if (brow != nullptr) x += brow[j];
+        prow[j] = x;
+      }
+      // Bounded row softmax. Column r itself is always in range, so the
+      // bounded max/sum equal the full-row ones of the composed path (its
+      // -1e9-masked entries exp-underflow to exactly 0).
+      float mx = prow[0];
+      for (int64_t j = 1; j < bound; ++j) mx = std::max(mx, prow[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < bound; ++j) {
+        prow[j] = std::exp(prow[j] - mx);
+        sum += prow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t j = 0; j < bound; ++j) prow[j] *= inv;
+      // Stream into the value aggregation, skipping exact zeros like
+      // GemmRowRange (so dropped columns cost nothing).
+      float* orow = out + t * d;
+      std::fill(orow, orow + d, 0.0f);
+      const float* mrow = drop_mask == nullptr ? nullptr : drop_mask + t * n;
+      for (int64_t j = 0; j < bound; ++j) {
+        float av = prow[j];
+        if (mrow != nullptr) av *= mrow[j];
+        if (av == 0.0f) continue;
+        const float* vrow = vblk + j * d;
+        for (int64_t c = 0; c < d; ++c) orow[c] += av * vrow[c];
+      }
+    }
+  });
+}
+
+void FusedAttentionBackward(const float* q, const float* k, const float* v,
+                            const float* probs, const float* drop_mask,
+                            const float* gout, float* dq, float* dk, float* dv,
+                            float* dbias, float* ds, int64_t batch, int64_t m,
+                            int64_t n, int64_t d, bool causal, float scale,
+                            bool bias_broadcast) {
+  const int64_t kv_rows = batch * n;
+  const int64_t q_rows = batch * m;
+  // Phase 1 — dV[i,:] += Σ_p attD[p,i] · G[p,:]. Runs first: when k or v
+  // alias q (self-attention through one buffer) the composed tape also
+  // applies the output-matmul backward before the logit chain.
+  if (dv != nullptr) {
+    ParallelRanges(kv_rows, m * d, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        const int64_t b = t / n;
+        const int64_t i = t % n;
+        const float* pblk = probs + b * m * n;
+        const float* mblk =
+            drop_mask == nullptr ? nullptr : drop_mask + b * m * n;
+        const float* gblk = gout + b * m * d;
+        float* dvrow = dv + t * d;
+        for (int64_t p = causal ? i : 0; p < m; ++p) {
+          float av = pblk[p * n + i];
+          if (mblk != nullptr) av *= mblk[p * n + i];
+          if (av == 0.0f) continue;
+          const float* grow = gblk + p * d;
+          for (int64_t c = 0; c < d; ++c) dvrow[c] += av * grow[c];
+        }
+      }
+    });
+  }
+  if (ds == nullptr) return;  // only dV was requested
+  // Phase 2 — per query row: dP = G Vᵀ, dropout backward, the softmax
+  // Jacobian row reduction, the same-shape bias gradient, and dQ. ds keeps
+  // the *unscaled* logit gradients (what the composed Add backward sees);
+  // dQ/dK fold the · scale in on the fly, reproducing the composed
+  // MulScalar-materialised operand bit-for-bit.
+  ParallelRanges(q_rows, n * (2 * d + 6), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t b = t / m;
+      const int64_t r = t % m;
+      const int64_t bound = causal ? r + 1 : n;
+      const float* prow = probs + t * n;
+      const float* mrow = drop_mask == nullptr ? nullptr : drop_mask + t * n;
+      const float* grow = gout + t * d;
+      const float* vblk = v + b * n * d;
+      const float* kblk = k + b * n * d;
+      float* dsrow = ds + t * n;
+      for (int64_t j = 0; j < bound; ++j) {
+        const float* vrow = vblk + j * d;
+        float acc = 0.0f;
+        for (int64_t c = 0; c < d; ++c) acc += grow[c] * vrow[c];
+        if (mrow != nullptr) acc *= mrow[j];
+        dsrow[j] = acc;
+      }
+      float dot = 0.0f;
+      for (int64_t j = 0; j < bound; ++j) dot += prow[j] * dsrow[j];
+      for (int64_t j = 0; j < bound; ++j)
+        dsrow[j] = prow[j] * (dsrow[j] - dot);
+      if (dbias != nullptr && !bias_broadcast) {
+        float* dbrow = dbias + t * n;
+        for (int64_t j = 0; j < bound; ++j) dbrow[j] += dsrow[j];
+      }
+      if (dq != nullptr) {
+        float* dqrow = dq + t * d;
+        for (int64_t j = 0; j < bound; ++j) {
+          const float av = dsrow[j] * scale;
+          if (av == 0.0f) continue;
+          const float* krow = kblk + j * d;
+          for (int64_t c = 0; c < d; ++c) dqrow[c] += av * krow[c];
+        }
+      }
+    }
+  });
+  // Phase 2b — a shared [m,n] bias reduces over the batch: each output row
+  // is owned by one thread and batches accumulate in ascending order, the
+  // per-element order of the composed serial broadcast-Add backward.
+  if (dbias != nullptr && bias_broadcast) {
+    ParallelRanges(m, batch * n, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t bound = causal ? r + 1 : n;
+        float* dbrow = dbias + r * n;
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* dsrow = ds + (b * m + r) * n;
+          for (int64_t j = 0; j < bound; ++j) dbrow[j] += dsrow[j];
+        }
+      }
+    });
+  }
+  // Phase 3 — dK[i,:] += Σ_p (dS[p,i] · scale) · Q[p,:]. After dQ, matching
+  // the composed dA-before-dB MatMul backward when q and k alias.
+  if (dk != nullptr) {
+    ParallelRanges(kv_rows, m * d, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        const int64_t b = t / n;
+        const int64_t i = t % n;
+        const float* dsblk = ds + b * m * n;
+        const float* qblk = q + b * m * d;
+        float* dkrow = dk + t * d;
+        for (int64_t p = causal ? i : 0; p < m; ++p) {
+          const float av = dsblk[p * n + i] * scale;
+          if (av == 0.0f) continue;
+          const float* qrow = qblk + p * d;
+          for (int64_t c = 0; c < d; ++c) dkrow[c] += av * qrow[c];
+        }
+      }
+    });
+  }
 }
 
 void TransposeMats(const float* in, float* out, int64_t mats, int64_t rows,

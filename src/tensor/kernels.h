@@ -94,4 +94,45 @@ void GatherRows(const float* w, const int64_t* ids, float* out, int64_t n,
 void TransposeMats(const float* in, float* out, int64_t mats, int64_t rows,
                    int64_t cols);
 
+// ---- Fused attention -------------------------------------------------------
+//
+// One-pass scaled-masked-softmax attention over dense blocks:
+//
+//   out = softmax(q kᵀ · scale [+ bias]) v      (optionally · dropout mask)
+//
+// q is [batch,m,d], k/v are [batch,n,d] (batch == 1 for the 2-D case), bias
+// is [batch,m,n] or a shared [m,n] (bias_broadcast). Causality is applied
+// implicitly by bounding every inner loop at column <= row — no mask tensor
+// is materialised and no -1e9 additions happen. The per-element accumulation
+// orders replicate the composed MatMul → MulScalar → Add → Softmax →
+// (Dropout) → MatMul chain exactly: masked logits there underflow to an
+// exact 0 probability which GemmRowRange skips, so the bounded loops produce
+// bit-identical results, and parallelism is over disjoint output rows only
+// (same determinism contract as every kernel above).
+
+/// Forward. probs (optional, [batch,m,n]) receives the post-softmax
+/// attention probabilities — the only tensor saved for the backward; pass
+/// nullptr in inference to use a per-row scratch instead. drop_mask
+/// (optional, [batch,m,n]) holds 0 or 1/(1-p) inverted-dropout factors
+/// applied after the softmax.
+void FusedAttentionForward(const float* q, const float* k, const float* v,
+                           const float* bias, const float* drop_mask,
+                           float* probs, float* out, int64_t batch, int64_t m,
+                           int64_t n, int64_t d, bool causal, float scale,
+                           bool bias_broadcast);
+
+/// Backward. Accumulates into dq/dk/dv/dbias (any may be nullptr). gout is
+/// the output gradient [batch,m,d]; probs/drop_mask are the forward's saved
+/// buffers; ds is caller-provided scratch [batch,m,n] (required unless only
+/// dv is wanted) that receives the unscaled pre-softmax logit gradients.
+/// Runs as row-partitioned phases in the composed path's topological order —
+/// dV, then dS/dbias/dQ, then dK — so results stay bit-identical to the
+/// composed backward even when q/k/v alias one buffer.
+void FusedAttentionBackward(const float* q, const float* k, const float* v,
+                            const float* probs, const float* drop_mask,
+                            const float* gout, float* dq, float* dk, float* dv,
+                            float* dbias, float* ds, int64_t batch, int64_t m,
+                            int64_t n, int64_t d, bool causal, float scale,
+                            bool bias_broadcast);
+
 }  // namespace stisan::kernels

@@ -1,9 +1,12 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
+#include "tensor/arena.h"
 #include "tensor/kernels.h"
 
 namespace stisan {
@@ -23,7 +26,7 @@ Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
   impl->strides = ContiguousStrides(shape);
   impl->shape = std::move(shape);
   impl->storage = std::make_shared<internal::Storage>();
-  impl->storage->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->storage->data = arena::AcquireZeroed(static_cast<size_t>(n));
   bool needs = false;
   if (internal::GradEnabled()) {
     for (const auto& p : parents)
@@ -1040,6 +1043,141 @@ Tensor Dropout(const Tensor& a_in, float p, Rng& rng, bool training) {
     for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] * md[i];
   });
   return out;
+}
+
+// ---- Fused attention ----------------------------------------------------------
+
+namespace {
+
+// -1 = follow STISAN_FUSED_ATTENTION (default on), 0/1 = forced.
+std::atomic<int> g_fused_attention_override{-1};
+
+}  // namespace
+
+bool FusedAttentionEnabled() {
+  const int ov = g_fused_attention_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  static const bool env_on = [] {
+    const char* v = std::getenv("STISAN_FUSED_ATTENTION");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return env_on;
+}
+
+void SetFusedAttentionEnabled(int value) {
+  g_fused_attention_override.store(value, std::memory_order_relaxed);
+}
+
+Tensor FusedAttention(const Tensor& q_in, const Tensor& k_in,
+                      const Tensor& v_in, const Tensor& bias_in,
+                      const FusedAttentionOptions& options) {
+  STISAN_CHECK(q_in.defined() && k_in.defined() && v_in.defined());
+  const Tensor q = Contiguous(q_in);
+  const Tensor k = Contiguous(k_in);
+  const Tensor v = Contiguous(v_in);
+  const int64_t rank = q.dim();
+  STISAN_CHECK_MSG(rank == 2 || rank == 3,
+                   "FusedAttention: rank must be 2 or 3, got "
+                       << ShapeToString(q.shape()));
+  STISAN_CHECK_EQ(k.dim(), rank);
+  STISAN_CHECK(k.shape() == v.shape());
+  const int64_t batch = rank == 3 ? q.size(0) : 1;
+  const int64_t m = q.size(rank - 2);
+  const int64_t n = k.size(rank - 2);
+  const int64_t d = q.size(rank - 1);
+  STISAN_CHECK_EQ(k.size(rank - 1), d);
+  if (rank == 3) STISAN_CHECK_EQ(k.size(0), batch);
+  if (options.causal) STISAN_CHECK_EQ(m, n);
+
+  Tensor bias;
+  bool bias_broadcast = false;
+  if (bias_in.defined()) {
+    bias = Contiguous(bias_in);
+    if (rank == 3 && bias.dim() == 2) {
+      STISAN_CHECK(bias.shape() == (Shape{m, n}));
+      bias_broadcast = true;  // shared [m,n] bias over a batched q
+    } else {
+      const Shape want = rank == 3 ? Shape{batch, m, n} : Shape{m, n};
+      STISAN_CHECK_MSG(bias.shape() == want,
+                       "FusedAttention: bias shape "
+                           << ShapeToString(bias.shape()) << " != "
+                           << ShapeToString(want));
+    }
+  }
+
+  const bool dropout = options.training && options.dropout_p > 0.0f;
+  std::shared_ptr<std::vector<float>> drop_mask;
+  if (dropout) {
+    STISAN_CHECK(options.rng != nullptr);
+    STISAN_CHECK_LT(options.dropout_p, 1.0f);
+    // Same serial full-tensor draw order as ops::Dropout, so the RNG stream
+    // (and therefore training) is identical to the composed path.
+    const float keep = 1.0f / (1.0f - options.dropout_p);
+    drop_mask = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(batch * m * n));
+    for (auto& mv : *drop_mask)
+      mv = options.rng->Bernoulli(options.dropout_p) ? 0.0f : keep;
+  }
+
+  auto qi = q.impl();
+  auto ki = k.impl();
+  auto vi = v.impl();
+  auto bi = bias.defined() ? bias.impl() : TensorImplPtr{};
+  const bool needs_grad =
+      internal::GradEnabled() &&
+      (qi->requires_grad || ki->requires_grad || vi->requires_grad ||
+       (bi != nullptr && bi->requires_grad));
+  // The only saved activation: post-softmax probabilities (plus the dropout
+  // mask above). Inference skips it and streams through row scratch.
+  std::shared_ptr<std::vector<float>> probs;
+  if (needs_grad) {
+    probs = std::make_shared<std::vector<float>>(
+        arena::AcquireZeroed(static_cast<size_t>(batch * m * n)));
+  }
+
+  const bool causal = options.causal;
+  const float scale = options.scale;
+  Shape out_shape = rank == 3 ? Shape{batch, m, d} : Shape{m, d};
+  std::vector<TensorImplPtr> parents = {qi, ki, vi};
+  if (bi != nullptr) parents.push_back(bi);
+  Tensor out = MakeNode(
+      std::move(out_shape), std::move(parents),
+      [qi, ki, vi, bi, probs, drop_mask, batch, m, n, d, causal, scale,
+       bias_broadcast](TensorImpl& self) {
+        const bool need_q = qi->requires_grad;
+        const bool need_k = ki->requires_grad;
+        const bool need_v = vi->requires_grad;
+        const bool need_b = bi != nullptr && bi->requires_grad;
+        if (need_q) qi->EnsureGrad();
+        if (need_k) ki->EnsureGrad();
+        if (need_v) vi->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        std::vector<float> ds;
+        if (need_q || need_k || need_b)
+          ds = arena::AcquireZeroed(static_cast<size_t>(batch * m * n));
+        kernels::FusedAttentionBackward(
+            qi->Data(), ki->Data(), vi->Data(), probs->data(),
+            drop_mask != nullptr ? drop_mask->data() : nullptr, self.Grad(),
+            need_q ? qi->Grad() : nullptr, need_k ? ki->Grad() : nullptr,
+            need_v ? vi->Grad() : nullptr, need_b ? bi->Grad() : nullptr,
+            ds.empty() ? nullptr : ds.data(), batch, m, n, d, causal, scale,
+            bias_broadcast);
+        arena::Release(std::move(ds));
+      });
+  kernels::FusedAttentionForward(
+      q.data(), k.data(), v.data(), bias.defined() ? bias.data() : nullptr,
+      drop_mask != nullptr ? drop_mask->data() : nullptr,
+      probs != nullptr ? probs->data() : nullptr, out.data(), batch, m, n, d,
+      causal, scale, bias_broadcast);
+  return out;
+}
+
+Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      const Tensor& bias, bool causal, float scale) {
+  FusedAttentionOptions options;
+  options.causal = causal;
+  options.scale = scale;
+  return FusedAttention(q, k, v, bias, options);
 }
 
 }  // namespace ops

@@ -137,6 +137,45 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids,
 /// Identity when `training` is false or p == 0.
 Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
 
+// ---- Fused attention -------------------------------------------------------
+
+/// Options for FusedAttention. Dropout (applied to the post-softmax
+/// probabilities, matching ops::Dropout's RNG stream exactly) is active only
+/// when `training` and `dropout_p` > 0, and then requires `rng`.
+struct FusedAttentionOptions {
+  bool causal = false;
+  float scale = 1.0f;
+  float dropout_p = 0.0f;
+  Rng* rng = nullptr;
+  bool training = false;
+};
+
+/// Fused scaled-masked-softmax attention
+///
+///   softmax(q kᵀ · scale + causal_mask [+ bias]) v
+///
+/// as a single autograd node backed by kernels::FusedAttention{Forward,
+/// Backward}. q: [m,d] or [b,m,d]; k/v: [n,d] or [b,n,d] (k and v may alias,
+/// as in TAAD's Attn(C,F,F)); bias: undefined, [m,n], [b,m,n], or a shared
+/// [m,n] broadcast over a batched q. `causal` requires m == n and is applied
+/// by loop bounds — no mask tensor, no -1e9 additions. Only the attention
+/// probabilities (and dropout mask) are saved for the backward. Results and
+/// gradients are bit-identical to the composed op chain and deterministic
+/// across thread counts.
+Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      const Tensor& bias, const FusedAttentionOptions& options);
+
+/// Convenience overload without dropout.
+Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      const Tensor& bias, bool causal, float scale);
+
+/// True when attention layers should lower through FusedAttention (the
+/// default). STISAN_FUSED_ATTENTION=0 selects the composed reference path;
+/// SetFusedAttentionEnabled overrides the environment (1 on, 0 off, -1
+/// restore) for tests and benchmarks.
+bool FusedAttentionEnabled();
+void SetFusedAttentionEnabled(int value);
+
 // ---- Convenience -----------------------------------------------------------------
 
 /// Scalar loss helpers used by training code.

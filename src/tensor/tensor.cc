@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/arena.h"
+
 namespace stisan {
 
 int64_t NumElements(const Shape& shape) {
@@ -45,6 +47,19 @@ thread_local bool g_grad_enabled = true;
 
 bool GradEnabled() { return g_grad_enabled; }
 
+Storage::~Storage() {
+  // Park both allocations in the arena pool (no-ops when inactive).
+  arena::Release(std::move(data));
+  arena::Release(std::move(grad));
+}
+
+void Storage::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    arena::Release(std::move(grad));
+    grad = arena::AcquireZeroed(data.size());
+  }
+}
+
 bool TensorImpl::IsContiguous() const {
   int64_t expect = 1;
   for (size_t i = shape.size(); i-- > 0;) {
@@ -73,7 +88,7 @@ internal::TensorImplPtr MakeImpl(Shape shape, bool requires_grad) {
   impl->strides = ContiguousStrides(shape);
   impl->shape = std::move(shape);
   impl->storage = std::make_shared<internal::Storage>();
-  impl->storage->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->storage->data = arena::AcquireZeroed(static_cast<size_t>(n));
   impl->requires_grad = requires_grad && internal::GradEnabled();
   return impl;
 }
@@ -311,7 +326,7 @@ Tensor Tensor::Detach() const {
   impl->strides = ContiguousStrides(impl_->shape);
   impl->shape = impl_->shape;
   impl->storage = std::make_shared<internal::Storage>();
-  impl->storage->data.resize(static_cast<size_t>(impl_->numel()));
+  impl->storage->data = arena::AcquireZeroed(static_cast<size_t>(impl_->numel()));
   GatherToDense(*impl_, impl->storage->data.data());
   impl->requires_grad = false;
   return Tensor(std::move(impl));

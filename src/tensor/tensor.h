@@ -52,14 +52,19 @@ using TensorImplPtr = std::shared_ptr<TensorImpl>;
 
 /// Refcounted flat buffer shared by every view of a tensor. The gradient
 /// buffer parallels the data buffer element-for-element and is allocated
-/// lazily during backward.
+/// lazily during backward. Both buffers are routed through the tape memory
+/// arena (src/tensor/arena.h): the destructor parks them for reuse when the
+/// arena is active. Defined in tensor.cc.
 struct Storage {
   std::vector<float> data;
   std::vector<float> grad;
 
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  Storage() = default;
+  ~Storage();
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  void EnsureGrad();
   bool has_grad() const { return grad.size() == data.size(); }
 };
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 #include "train/lr_schedule.h"
 #include "train/signal.h"
@@ -74,6 +75,9 @@ Status Trainer::RestoreState(const TrainerState& state, Adam& optimizer) {
 
 TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
   TrainResult result;
+  // Tape buffers freed at the end of step k are recycled by step k+1 while
+  // this scope is alive (STISAN_ARENA=1); the pool drains when Run returns.
+  arena::Scope arena_scope;
   const auto& cfg = config_;
   const int64_t bsz = std::max<int64_t>(1, cfg.batch_size);
 

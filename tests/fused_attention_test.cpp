@@ -1,0 +1,436 @@
+// Fused attention + arena/cache test suite (label: "fused").
+//
+// Covers the ops::FusedAttention contract from four angles:
+//  1. analytic gradients vs central finite differences (bias/no-bias,
+//     causal/non-causal, 2-D and padded-batch 3-D),
+//  2. bit-equivalence against the composed per-op reference lowering
+//     (STISAN_FUSED_ATTENTION=0) for forward, input grads, parameter grads,
+//     learned-bias grads and the dropout RNG stream,
+//  3. bit-determinism across thread counts on shapes large enough to
+//     actually split in ParallelRanges,
+//  4. the tape memory arena being bit-invisible while recycling buffers
+//     across interleaved training steps and eval batches.
+//
+// Plus the memoisation caches: BuildCausalMask, CachedScaledRelation and
+// CachedSinusoidalEncoding must return shared handles on repeat requests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/taad.h"
+#include "core/tape.h"
+#include "nn/attention.h"
+#include "tensor/arena.h"
+#include "tensor/gradcheck.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace stisan {
+namespace {
+
+// Forces a fused/composed lowering for the test's lifetime.
+class ScopedFused {
+ public:
+  explicit ScopedFused(bool on) { ops::SetFusedAttentionEnabled(on ? 1 : 0); }
+  ~ScopedFused() { ops::SetFusedAttentionEnabled(-1); }
+};
+
+Tensor RandomInput(Shape shape, uint64_t seed, float scale = 0.5f) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, scale, /*requires_grad=*/true);
+}
+
+std::vector<float> GradVector(const Tensor& t) {
+  EXPECT_TRUE(t.has_grad());
+  return {t.grad_data(), t.grad_data() + t.numel()};
+}
+
+#define EXPECT_GRADCHECK_OK(fn, ...)               \
+  do {                                             \
+    Status st = CheckGradients(fn, {__VA_ARGS__}); \
+    EXPECT_TRUE(st.ok()) << st.ToString();         \
+  } while (0)
+
+// ---- 1. Finite-difference gradchecks ---------------------------------------
+
+TEST(FusedGradCheck, CausalNoBias2D) {
+  Tensor q = RandomInput({5, 4}, 1);
+  Tensor k = RandomInput({5, 4}, 2);
+  Tensor v = RandomInput({5, 4}, 3);
+  const float scale = 1.0f / std::sqrt(4.0f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        return ops::Sum(ops::Square(
+            ops::FusedAttention(q, k, v, Tensor(), /*causal=*/true, scale)));
+      },
+      q, k, v);
+}
+
+TEST(FusedGradCheck, NonCausalWithBias2D) {
+  // Cross-attention shape: m != n, learned additive bias gets a gradient.
+  Tensor q = RandomInput({3, 4}, 4);
+  Tensor k = RandomInput({6, 4}, 5);
+  Tensor v = RandomInput({6, 4}, 6);
+  Tensor bias = RandomInput({3, 6}, 7);
+  const float scale = 1.0f / std::sqrt(4.0f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        return ops::Sum(ops::Square(
+            ops::FusedAttention(q, k, v, bias, /*causal=*/false, scale)));
+      },
+      q, k, v, bias);
+}
+
+TEST(FusedGradCheck, CausalBatchedBroadcastBias) {
+  // [b, m, d] inputs with a shared [m, n] bias (IAAB's relation matrix is
+  // per-sequence, but the broadcast path must still accumulate correctly).
+  Tensor q = RandomInput({2, 4, 3}, 8);
+  Tensor k = RandomInput({2, 4, 3}, 9);
+  Tensor v = RandomInput({2, 4, 3}, 10);
+  Tensor bias = RandomInput({4, 4}, 11);
+  const float scale = 1.0f / std::sqrt(3.0f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        return ops::Sum(ops::Square(
+            ops::FusedAttention(q, k, v, bias, /*causal=*/true, scale)));
+      },
+      q, k, v, bias);
+}
+
+TEST(FusedGradCheck, PaddedBatchMaskedBias) {
+  // Padding handled the production way: a constant -1e9 mask in the bias
+  // slot. Gradients through the surviving entries must still match finite
+  // differences; masked keys contribute exactly zero.
+  Tensor q = RandomInput({2, 4, 3}, 12);
+  Tensor k = RandomInput({2, 4, 3}, 13);
+  Tensor v = RandomInput({2, 4, 3}, 14);
+  Tensor mask = core::BuildPaddedCausalMask(4, /*first_real=*/2);
+  const float scale = 1.0f / std::sqrt(3.0f);
+  EXPECT_GRADCHECK_OK(
+      [&] {
+        return ops::Sum(ops::Square(
+            ops::FusedAttention(q, k, v, mask, /*causal=*/false, scale)));
+      },
+      q, k, v);
+}
+
+// ---- 2. Fused vs composed bit-equivalence ----------------------------------
+
+// Runs module `fn` twice — composed then fused — on freshly-built identical
+// inputs and returns {forward values, input grads} for each.
+struct LoweringResult {
+  std::vector<float> forward;
+  std::vector<float> grads;
+};
+
+TEST(FusedComposedEquivalence, SingleHeadSelfAttentionBitExact) {
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Rng init(21);
+    nn::CausalSelfAttention attn(8, /*dropout=*/0.0f, init);
+    Tensor x = RandomInput({6, 8}, 22);
+    Rng fwd(23);
+    Tensor y = attn.Forward(x, Tensor(), fwd);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    r.grads = GradVector(x);
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  // EXPECT_EQ on floats: the golden-metrics suite runs the fused lowering by
+  // default, so anything short of bit-identity is a correctness bug.
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+TEST(FusedComposedEquivalence, LearnedBiasGradBitExact) {
+  // TiSASRec feeds a learned bucket bias through the attention: the bias
+  // gradient must survive the fused lowering bit-for-bit.
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Rng init(31);
+    nn::CausalSelfAttention attn(8, /*dropout=*/0.0f, init);
+    Tensor x = RandomInput({5, 8}, 32);
+    Tensor bias = RandomInput({5, 5}, 33, 0.1f);
+    Rng fwd(34);
+    Tensor y = attn.Forward(x, bias, fwd);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    r.grads = GradVector(bias);
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+TEST(FusedComposedEquivalence, MultiHeadClose) {
+  // Multi-head slices take the non-view GEMM path whose accumulation order
+  // differs in sign-of-zero corner cases only; assert the issue tolerances.
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Rng init(41);
+    nn::CausalSelfAttention attn(8, /*dropout=*/0.0f, init, /*causal=*/true,
+                                 /*identity_init_values=*/false,
+                                 /*num_heads=*/2);
+    Tensor x = RandomInput({6, 8}, 42);
+    Rng fwd(43);
+    Tensor y = attn.Forward(x, Tensor(), fwd);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    r.grads = GradVector(x);
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  ASSERT_EQ(composed.forward.size(), fused.forward.size());
+  for (size_t i = 0; i < composed.forward.size(); ++i) {
+    EXPECT_NEAR(composed.forward[i], fused.forward[i], 1e-5f) << i;
+  }
+  ASSERT_EQ(composed.grads.size(), fused.grads.size());
+  for (size_t i = 0; i < composed.grads.size(); ++i) {
+    EXPECT_NEAR(composed.grads[i], fused.grads[i], 1e-4f) << i;
+  }
+}
+
+TEST(FusedComposedEquivalence, DropoutRngStreamAligned) {
+  // Training-mode dropout: the fused kernel must consume the RNG stream in
+  // exactly the composed order (row-major Bernoulli over the full prob
+  // matrix), so same-seeded runs are bit-identical.
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Rng init(51);
+    nn::CausalSelfAttention attn(8, /*dropout=*/0.3f, init);
+    Tensor x = RandomInput({6, 8}, 52);
+    Rng fwd(53);
+    Tensor y = attn.Forward(x, Tensor(), fwd);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    r.grads = GradVector(x);
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+TEST(FusedComposedEquivalence, PaddedBatchBitExact) {
+  // Batched attention over sequences with padding prefixes, as EncodeBatch
+  // produces: [b, n, d] input + per-sequence [b, n, n] masks in the bias.
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Rng init(61);
+    nn::CausalSelfAttention attn(8, /*dropout=*/0.0f, init, /*causal=*/false);
+    Tensor x = RandomInput({2, 4, 8}, 62);
+    Tensor mask = Tensor::Zeros({2, 4, 4});
+    const Tensor m0 = core::BuildPaddedCausalMask(4, 0);
+    const Tensor m1 = core::BuildPaddedCausalMask(4, 2);
+    std::copy(m0.data(), m0.data() + 16, mask.data());
+    std::copy(m1.data(), m1.data() + 16, mask.data() + 16);
+    Rng fwd(63);
+    Tensor y = attn.Forward(x, mask, fwd);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    r.grads = GradVector(x);
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+TEST(FusedComposedEquivalence, TaadDecodeBitExact) {
+  // TAAD aliases keys and values (Attn(C, F, F)); both lowerings must agree
+  // on forward and on the summed k==v gradient.
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Tensor f = RandomInput({4, 8}, 71);
+    Tensor c = RandomInput({3, 8}, 72);
+    Tensor s = core::TaadDecode(c, f, {1, 2, 3}, /*first_real=*/1);
+    LoweringResult r;
+    r.forward = s.ToVector();
+    ops::Sum(ops::Square(s)).Backward();
+    r.grads = GradVector(f);
+    auto gc = GradVector(c);
+    r.grads.insert(r.grads.end(), gc.begin(), gc.end());
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+TEST(FusedComposedEquivalence, TaadDecodeBatchBitExact) {
+  auto run = [](bool fused) {
+    ScopedFused guard(fused);
+    Tensor f = RandomInput({2, 4, 8}, 81);
+    Tensor c = RandomInput({2, 3, 8}, 82);
+    Tensor s = core::TaadDecodeBatch(c, f, {0, 2});
+    LoweringResult r;
+    r.forward = s.ToVector();
+    ops::Sum(ops::Square(s)).Backward();
+    r.grads = GradVector(f);
+    auto gc = GradVector(c);
+    r.grads.insert(r.grads.end(), gc.begin(), gc.end());
+    return r;
+  };
+  const LoweringResult composed = run(false);
+  const LoweringResult fused = run(true);
+  EXPECT_EQ(composed.forward, fused.forward);
+  EXPECT_EQ(composed.grads, fused.grads);
+}
+
+// ---- 3. Thread-count determinism -------------------------------------------
+
+TEST(FusedDeterminism, BitIdenticalAcrossThreadCounts) {
+  // Shapes chosen so batch*m*cost clears ParallelMinWork (2^15 by default)
+  // and the row partition genuinely splits at 4 threads.
+  auto run = [](int64_t threads) {
+    kernels::SetNumThreads(threads);
+    Tensor q = RandomInput({2, 64, 16}, 91);
+    Tensor k = RandomInput({2, 64, 16}, 92);
+    Tensor v = RandomInput({2, 64, 16}, 93);
+    Tensor bias = RandomInput({64, 64}, 94, 0.1f);
+    const float scale = 1.0f / std::sqrt(16.0f);
+    Tensor y = ops::FusedAttention(q, k, v, bias, /*causal=*/true, scale);
+    LoweringResult r;
+    r.forward = y.ToVector();
+    ops::Sum(ops::Square(y)).Backward();
+    for (const Tensor& t : {q, k, v, bias}) {
+      auto g = GradVector(t);
+      r.grads.insert(r.grads.end(), g.begin(), g.end());
+    }
+    return r;
+  };
+  const LoweringResult serial = run(1);
+  const LoweringResult parallel = run(4);
+  kernels::SetNumThreads(0);  // restore the default pool
+  EXPECT_EQ(serial.forward, parallel.forward);
+  EXPECT_EQ(serial.grads, parallel.grads);
+}
+
+// ---- 4. Arena --------------------------------------------------------------
+
+TEST(ArenaTest, InterleavedTrainEvalBitInvisibleAndRecycles) {
+  // Emulates the production scope layout: an outer training-run scope with
+  // per-step tapes, a nested eval scope firing mid-run (the trainer's
+  // periodic eval callback). Arena on must be bit-identical to arena off
+  // and must actually serve buffers from the pool.
+  auto run = [](bool arena_on) {
+    arena::SetEnabledForTesting(arena_on ? 1 : 0);
+    std::vector<float> trace;
+    {
+      arena::Scope train_scope;
+      for (int step = 0; step < 4; ++step) {
+        Tensor q = RandomInput({6, 8}, 100 + uint64_t(step));
+        Tensor k = RandomInput({6, 8}, 200 + uint64_t(step));
+        Tensor v = RandomInput({6, 8}, 300 + uint64_t(step));
+        const float scale = 1.0f / std::sqrt(8.0f);
+        Tensor loss = ops::Sum(ops::Square(
+            ops::FusedAttention(q, k, v, Tensor(), /*causal=*/true, scale)));
+        loss.Backward();
+        trace.push_back(loss.ToVector()[0]);
+        auto g = GradVector(q);
+        trace.insert(trace.end(), g.begin(), g.end());
+        if (step % 2 == 1) {  // interleaved eval batch
+          arena::Scope eval_scope;
+          NoGradGuard no_grad;
+          Tensor eq = RandomInput({4, 8}, 400 + uint64_t(step));
+          Tensor ek = RandomInput({5, 8}, 500 + uint64_t(step));
+          Tensor ev = RandomInput({5, 8}, 600 + uint64_t(step));
+          Tensor y =
+              ops::FusedAttention(eq, ek, ev, Tensor(), /*causal=*/false,
+                                  1.0f / std::sqrt(8.0f));
+          auto yv = y.ToVector();
+          trace.insert(trace.end(), yv.begin(), yv.end());
+        }
+      }
+    }
+    arena::SetEnabledForTesting(-1);
+    return trace;
+  };
+  const std::vector<float> off = run(false);
+  arena::ResetStats();
+  const std::vector<float> on = run(true);
+  const arena::Stats stats = arena::GetStats();
+  EXPECT_EQ(off, on);  // bit-identical values, arena invisible
+  EXPECT_GT(stats.hits, 0u) << "arena never recycled a buffer";
+  EXPECT_GT(stats.recycled, 0u);
+}
+
+TEST(ArenaTest, InactiveWithoutScopeOrFlag) {
+  arena::SetEnabledForTesting(1);
+  EXPECT_FALSE(arena::Active());  // enabled but no live Scope
+  {
+    arena::Scope scope;
+    EXPECT_TRUE(arena::Active());
+  }
+  arena::SetEnabledForTesting(0);
+  {
+    arena::Scope scope;
+    EXPECT_FALSE(arena::Active());  // scope alive but pooling disabled
+  }
+  arena::SetEnabledForTesting(-1);
+}
+
+// ---- 5. Memoisation caches ---------------------------------------------------
+
+TEST(CacheTest, CausalMaskMemoisedPerLength) {
+  const Tensor a = nn::BuildCausalMask(7);
+  const Tensor b = nn::BuildCausalMask(7);
+  EXPECT_EQ(a.data(), b.data());  // shared handle, built once
+  EXPECT_NE(a.data(), nn::BuildCausalMask(9).data());
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(a.at({i, j}), j <= i ? 0.0f : -1e9f);
+    }
+  }
+}
+
+TEST(CacheTest, RelationCacheSharesAndMatchesDirectBuild) {
+  const std::vector<int64_t> pois = {3, 1, 4, 1, 5};
+  const std::vector<double> ts = {0.0, 3600.0, 7200.0, 9000.0, 12000.0};
+  const std::vector<geo::GeoPoint> coords = {
+      {43.8, 125.3}, {43.9, 125.4}, {43.7, 125.2}, {43.9, 125.4},
+      {43.85, 125.35}};
+  core::RelationOptions options;
+  const Tensor first =
+      core::CachedScaledRelation(pois, ts, coords, /*first_real=*/1, options);
+  const auto before = core::GetRelationCacheStats();
+  const Tensor second =
+      core::CachedScaledRelation(pois, ts, coords, /*first_real=*/1, options);
+  const auto after = core::GetRelationCacheStats();
+  EXPECT_EQ(first.data(), second.data());  // served from the LRU
+  EXPECT_EQ(after.hits, before.hits + 1);
+  const Tensor direct = core::SoftmaxScaleRelation(
+      core::BuildRelationMatrix(pois, ts, coords, 1, options), 1);
+  EXPECT_EQ(first.ToVector(), direct.ToVector());
+}
+
+TEST(CacheTest, TapeCacheSharesAndMatchesDirectBuild) {
+  const std::vector<double> pos = {1.0, 2.5, 3.5, 6.0};
+  const Tensor first = core::CachedSinusoidalEncoding(pos, 8);
+  const auto before = core::GetTapeCacheStats();
+  const Tensor second = core::CachedSinusoidalEncoding(pos, 8);
+  const auto after = core::GetTapeCacheStats();
+  EXPECT_EQ(first.data(), second.data());
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(first.ToVector(), nn::SinusoidalEncoding(pos, 8).ToVector());
+}
+
+}  // namespace
+}  // namespace stisan

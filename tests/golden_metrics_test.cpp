@@ -11,10 +11,34 @@
 #include <sstream>
 #include <string>
 
+#include "tensor/ops.h"
 #include "tools/golden_pipeline.h"
 
 namespace stisan::golden {
 namespace {
+
+std::map<std::string, double> LoadGolden() {
+  std::ifstream in(STISAN_GOLDEN_JSON);
+  EXPECT_TRUE(in.good())
+      << "missing " << STISAN_GOLDEN_JSON
+      << "; regenerate it with tools/refresh_golden_metrics";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFlatJson(buffer.str());
+}
+
+void ExpectMatchesGolden(const std::map<std::string, double>& computed) {
+  const auto golden = LoadGolden();
+  ASSERT_FALSE(golden.empty()) << "golden file parsed to nothing";
+  EXPECT_EQ(golden.size(), computed.size());
+  for (const auto& [key, value] : computed) {
+    ASSERT_TRUE(golden.contains(key)) << "metric missing from golden: " << key;
+    EXPECT_EQ(golden.at(key), value) << key;
+  }
+  for (const auto& [key, value] : golden) {
+    EXPECT_TRUE(computed.contains(key)) << "stale golden metric: " << key;
+  }
+}
 
 TEST(GoldenJsonTest, RoundTripsExactly) {
   const std::map<std::string, double> metrics = {
@@ -33,27 +57,20 @@ TEST(GoldenJsonTest, RoundTripsExactly) {
 }
 
 TEST(GoldenMetricsTest, PipelineMatchesCheckedInGolden) {
-  std::ifstream in(STISAN_GOLDEN_JSON);
-  ASSERT_TRUE(in.good())
-      << "missing " << STISAN_GOLDEN_JSON
-      << "; regenerate it with tools/refresh_golden_metrics";
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto golden = ParseFlatJson(buffer.str());
-  ASSERT_FALSE(golden.empty()) << "golden file parsed to nothing";
-
-  const auto computed = ComputeGoldenMetrics();
-
   // Exact keys, exact values: the whole chain (synthetic data, training,
-  // candidate sampling, batched evaluation) is pinned-deterministic.
-  EXPECT_EQ(golden.size(), computed.size());
-  for (const auto& [key, value] : computed) {
-    ASSERT_TRUE(golden.contains(key)) << "metric missing from golden: " << key;
-    EXPECT_EQ(golden.at(key), value) << key;
-  }
-  for (const auto& [key, value] : golden) {
-    EXPECT_TRUE(computed.contains(key)) << "stale golden metric: " << key;
-  }
+  // candidate sampling, batched evaluation) is pinned-deterministic. Runs
+  // under the default lowering (fused attention on).
+  ExpectMatchesGolden(ComputeGoldenMetrics());
+}
+
+TEST(GoldenMetricsTest, ComposedLoweringMatchesSameGolden) {
+  // STISAN_FUSED_ATTENTION=0 swaps every attention layer to the composed
+  // per-op reference path; the two lowerings are bit-identical, so both must
+  // reproduce the one checked-in golden file exactly.
+  ops::SetFusedAttentionEnabled(0);
+  const auto computed = ComputeGoldenMetrics();
+  ops::SetFusedAttentionEnabled(-1);
+  ExpectMatchesGolden(computed);
 }
 
 }  // namespace

@@ -5,13 +5,15 @@
 #   tools/run_sanitized_tests.sh asan       # one of them
 #
 # Uses the asan/ubsan presets from CMakePresets.json (build trees
-# build-asan/ and build-ubsan/); the matching test presets run only
-# "unit"-labeled tests, skipping the end-to-end CLI/tool smoke tests
-# whose sanitized runtimes are excessive on one core.
+# build-asan/ and build-ubsan/); the matching test presets run the
+# "unit", "robustness" and "fused" labels, skipping the end-to-end
+# CLI/tool smoke tests whose sanitized runtimes are excessive on one core.
 #
 # After the unit pass, the "robustness" suite (fault-injection sweeps,
-# checkpoint fuzzing, kill/resume determinism) is re-run as an explicit
-# gate: torn-write and truncated-buffer handling is exactly where the
+# checkpoint fuzzing, kill/resume determinism) and the "fused" suite
+# (fused-attention kernels, arena stress with interleaved train/eval
+# scopes) are re-run as explicit gates: torn-write handling and the
+# hand-written attention backward/arena recycling are exactly where the
 # sanitizers catch out-of-bounds reads that a plain run would miss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,4 +32,9 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    ctest -L robustness --output-on-failure)
+  echo "==== ${preset}: ctest (fused-attention gate) ===="
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   STISAN_ARENA=1 ctest -L fused --output-on-failure)
 done
