@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "data/types.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/lru_cache.h"
 
@@ -77,6 +78,8 @@ Tensor SoftmaxScaleRelation(const Tensor& relation, int64_t first_real) {
 Tensor BuildPaddedCausalMask(int64_t n, int64_t first_real) {
   STISAN_CHECK_GE(first_real, 0);
   STISAN_CHECK_LE(first_real, n);
+  static obs::Counter& built = obs::GetCounter("mask/causal_built");
+  built.Inc();
   Tensor mask = Tensor::Zeros({n, n});
   float* m = mask.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -125,9 +128,17 @@ struct RelationKeyHash {
 
 // ~256 distinct windows cover the training sets this repo trains on; the
 // leaked singleton avoids static-destruction races with arena teardown.
+// Hit/miss counts are polled by obs snapshots through callback gauges, so
+// the lookup path pays no extra increment.
 LruCache<RelationKey, Tensor, RelationKeyHash>& RelationCache() {
-  static auto* cache =
-      new LruCache<RelationKey, Tensor, RelationKeyHash>(256);
+  static auto* cache = [] {
+    auto* c = new LruCache<RelationKey, Tensor, RelationKeyHash>(256);
+    obs::RegisterCallbackGauge("relation/cache_hits",
+                               [c] { return double(c->hits()); });
+    obs::RegisterCallbackGauge("relation/cache_misses",
+                               [c] { return double(c->misses()); });
+    return c;
+  }();
   return *cache;
 }
 

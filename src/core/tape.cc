@@ -1,15 +1,38 @@
 #include "core/tape.h"
 
+#include <atomic>
 #include <cmath>
 #include <utility>
 
 #include "nn/layers.h"
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/lru_cache.h"
 
 namespace stisan::core {
 
 namespace {
+
+/// Clamps a possibly-negative time gap to zero. Real check-in logs contain
+/// clock skew and duplicate-second records, so out-of-order timestamps are
+/// data, not a programming error: count them, warn once, keep going.
+double ClampGap(double dt, bool count) {
+  if (dt >= 0.0) return dt;
+  if (count) {
+    static obs::Counter& clamped =
+        obs::GetCounter("tape/negative_gaps_clamped");
+    clamped.Inc();
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      STISAN_LOG(WARNING)
+          << "non-monotone timestamps: negative time gap " << dt
+          << "s clamped to 0 (counted in tape/negative_gaps_clamped; "
+             "warning once)";
+    }
+  }
+  return 0.0;
+}
 
 struct PositionsKey {
   std::vector<double> positions;
@@ -30,9 +53,17 @@ struct PositionsKeyHash {
 };
 
 LruCache<PositionsKey, Tensor, PositionsKeyHash>& TapeCache() {
-  // Leaked: see RelationCache() — outlives arena/static teardown.
-  static auto* cache =
-      new LruCache<PositionsKey, Tensor, PositionsKeyHash>(256);
+  // Leaked: see RelationCache() — outlives arena/static teardown. The
+  // snapshot layer polls the cache's own counters lazily instead of paying
+  // a second increment on the lookup path.
+  static auto* cache = [] {
+    auto* c = new LruCache<PositionsKey, Tensor, PositionsKeyHash>(256);
+    obs::RegisterCallbackGauge("tape/cache_hits",
+                               [c] { return double(c->hits()); });
+    obs::RegisterCallbackGauge("tape/cache_misses",
+                               [c] { return double(c->misses()); });
+    return c;
+  }();
   return *cache;
 }
 
@@ -45,12 +76,15 @@ std::vector<double> TimeAwarePositions(const std::vector<double>& timestamps,
   STISAN_CHECK_GE(first_real, 0);
   STISAN_CHECK_LT(first_real, n);
 
-  // Mean interval over the real suffix (eq. 2's normaliser).
+  // Mean interval over the real suffix (eq. 2's normaliser). Negative gaps
+  // (clock skew, duplicate-second records) are clamped to zero; they are
+  // counted once per gap in the position loop below.
   double mean_dt = 0.0;
   int64_t real_gaps = 0;
   for (int64_t k = first_real + 1; k < n; ++k) {
-    const double dt = timestamps[size_t(k)] - timestamps[size_t(k - 1)];
-    STISAN_CHECK_GE(dt, 0.0);  // sequences are chronological
+    const double dt =
+        ClampGap(timestamps[size_t(k)] - timestamps[size_t(k - 1)],
+                 /*count=*/false);
     mean_dt += dt;
     ++real_gaps;
   }
@@ -59,7 +93,9 @@ std::vector<double> TimeAwarePositions(const std::vector<double>& timestamps,
   std::vector<double> pos(static_cast<size_t>(n));
   pos[0] = 1.0;
   for (int64_t k = 1; k < n; ++k) {
-    const double dt = timestamps[size_t(k)] - timestamps[size_t(k - 1)];
+    const double dt =
+        ClampGap(timestamps[size_t(k)] - timestamps[size_t(k - 1)],
+                 /*count=*/true);
     // Degenerate spans (all same timestamp) -> vanilla integer positions.
     const double stretched = mean_dt > 1e-9 ? dt / mean_dt : 0.0;
     pos[size_t(k)] = pos[size_t(k - 1)] + stretched + 1.0;

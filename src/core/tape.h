@@ -25,6 +25,9 @@ namespace stisan::core {
 /// construction), so the real subsequence starts with a clean slate.
 /// The mean interval is computed over real entries only. A sequence with
 /// (near-)zero total time span degenerates gracefully to integer positions.
+/// Out-of-order timestamps (clock skew, duplicate-second records) are
+/// tolerated: negative gaps are clamped to zero, counted in the obs counter
+/// "tape/negative_gaps_clamped", and warned about once per process.
 std::vector<double> TimeAwarePositions(const std::vector<double>& timestamps,
                                        int64_t first_real = 0);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
@@ -60,30 +61,42 @@ MetricAccumulator Evaluate(BatchScorer& scorer,
                            const std::vector<data::EvalInstance>& test,
                            const CandidateGenerator& candidates,
                            const EvalOptions& options) {
+  OBS_SCOPED_TIMER("eval/run");
   MetricAccumulator acc(options.cutoffs);
   // Batch k+1 reuses the activation buffers batch k freed (STISAN_ARENA=1).
   arena::Scope arena_scope;
   const int64_t total = static_cast<int64_t>(test.size());
   const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
   ThreadPool& pool = kernels::GlobalPool();
+  static obs::Counter& instances = obs::GetCounter("eval/instances");
+  static obs::Counter& batches = obs::GetCounter("eval/batches");
 
   for (int64_t begin = 0; begin < total; begin += batch_size) {
     const int64_t size = std::min(batch_size, total - begin);
+    instances.Inc(static_cast<uint64_t>(size));
+    batches.Inc();
 
     // Candidate generation is pure per instance, so each worker fills its
     // own slot and the scorer sees the same lists at any thread count.
     std::vector<std::vector<int64_t>> cand(static_cast<size_t>(size));
-    ParallelFor(pool, size, [&](int64_t i) {
-      cand[static_cast<size_t>(i)] =
-          candidates.Candidates(test[static_cast<size_t>(begin + i)],
-                                options.num_negatives);
-    });
+    {
+      OBS_SCOPED_TIMER("eval/candidate_gen");
+      ParallelFor(pool, size, [&](int64_t i) {
+        cand[static_cast<size_t>(i)] =
+            candidates.Candidates(test[static_cast<size_t>(begin + i)],
+                                  options.num_negatives);
+      });
+    }
 
     std::vector<const data::EvalInstance*> batch(static_cast<size_t>(size));
     for (int64_t i = 0; i < size; ++i) {
       batch[static_cast<size_t>(i)] = &test[static_cast<size_t>(begin + i)];
     }
-    const auto scores = scorer.ScoreBatch(batch, cand);
+    std::vector<std::vector<float>> scores;
+    {
+      OBS_SCOPED_TIMER("eval/score_batch");
+      scores = scorer.ScoreBatch(batch, cand);
+    }
     STISAN_CHECK_EQ(static_cast<int64_t>(scores.size()), size);
 
     // Per-shard accumulation in instance order; Merge replays ranks, so the

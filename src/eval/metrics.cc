@@ -12,10 +12,16 @@ int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index) {
   STISAN_CHECK_GE(target_index, 0);
   STISAN_CHECK_LT(target_index, static_cast<int64_t>(scores.size()));
   const float target_score = scores[static_cast<size_t>(target_index)];
+  // A NaN target would compare false against every candidate and report a
+  // spurious perfect rank 0; fail loudly instead of inflating HR.
+  STISAN_CHECK_MSG(std::isfinite(target_score),
+                   "target score must be finite, got " << target_score);
   int64_t rank = 0;
   for (size_t i = 0; i < scores.size(); ++i) {
     if (static_cast<int64_t>(i) == target_index) continue;
-    if (scores[i] >= target_score) ++rank;
+    const float s = scores[i];
+    if (std::isnan(s)) continue;  // NaN candidate ranks as -inf
+    if (s >= target_score) ++rank;
   }
   return rank;
 }
@@ -100,6 +106,15 @@ double HitRateOfResample(const std::vector<int64_t>& ranks,
 
 }  // namespace
 
+size_t QuantileNearestRankIndex(size_t n, double q) {
+  STISAN_CHECK_GT(n, 0u);
+  // Truncating q*(n-1) would bias both endpoints low (e.g. q=0.975, n=21:
+  // trunc(19.5) = 19 instead of 20); round to the nearest rank instead.
+  const auto idx = static_cast<int64_t>(std::llround(q * double(n - 1)));
+  return static_cast<size_t>(
+      std::clamp<int64_t>(idx, 0, static_cast<int64_t>(n) - 1));
+}
+
 ConfidenceInterval BootstrapHitRateCi(const std::vector<int64_t>& ranks,
                                       int64_t k, double confidence, Rng& rng,
                                       int64_t resamples) {
@@ -118,8 +133,7 @@ ConfidenceInterval BootstrapHitRateCi(const std::vector<int64_t>& ranks,
   std::sort(stats.begin(), stats.end());
   const double alpha = (1.0 - confidence) / 2.0;
   const auto at = [&](double q) {
-    const auto idx = static_cast<size_t>(q * double(stats.size() - 1));
-    return stats[idx];
+    return stats[QuantileNearestRankIndex(stats.size(), q)];
   };
   return {at(alpha), at(1.0 - alpha)};
 }

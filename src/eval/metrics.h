@@ -14,7 +14,11 @@ namespace stisan::eval {
 /// Returns the rank (0-based) of the candidate at `target_index` when all
 /// candidates are sorted by descending score. Ties are broken
 /// pessimistically: candidates with equal score rank ahead of the target,
-/// so constant scorers cannot look artificially good.
+/// so constant scorers cannot look artificially good. NaN candidate scores
+/// are treated as -inf (they never outrank the target); a non-finite target
+/// score is a scorer bug and hard-fails via STISAN_CHECK — without the
+/// check a NaN target would compare false against everything and claim a
+/// spurious perfect rank 0.
 int64_t RankOfTarget(const std::vector<float>& scores, int64_t target_index);
 
 /// HR@k for a single instance: 1 if the target ranks inside the top k.
@@ -69,7 +73,14 @@ struct ConfidenceInterval {
   double hi = 0.0;
 };
 
-/// Percentile-bootstrap CI of HR@k over per-instance ranks.
+/// Index of the nearest-rank quantile q in a sorted sample of size n:
+/// round(q * (n - 1)), clamped to [0, n - 1]. Rounding (rather than
+/// truncating) keeps the estimator unbiased — truncation would drag both CI
+/// endpoints toward the low tail.
+size_t QuantileNearestRankIndex(size_t n, double q);
+
+/// Percentile-bootstrap CI of HR@k over per-instance ranks. Endpoints are
+/// nearest-rank quantiles of the sorted resample statistics.
 ConfidenceInterval BootstrapHitRateCi(const std::vector<int64_t>& ranks,
                                       int64_t k, double confidence, Rng& rng,
                                       int64_t resamples = 1000);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/io_env.h"
 #include "util/serialize.h"
 #include "util/string_util.h"
@@ -41,6 +42,7 @@ void Module::RegisterModule(Module* child) { children_.push_back(child); }
 Status Module::SaveParameters(const std::string& path,
                               const std::string& fingerprint,
                               Env* env) const {
+  OBS_SCOPED_TIMER("checkpoint/model_save");
   if (env == nullptr) env = Env::Default();
   const auto params = Parameters();
   std::string payload;
@@ -52,6 +54,11 @@ Status Module::SaveParameters(const std::string& path,
     writer.WriteFloatVector(p.ToVector());
   }
   STISAN_RETURN_IF_ERROR(writer.Finish());
+  static obs::Counter& saves = obs::GetCounter("checkpoint/model_saves");
+  static obs::Counter& bytes =
+      obs::GetCounter("checkpoint/model_save_bytes");
+  saves.Inc();
+  bytes.Inc(payload.size());
   return WriteEnvelopeFile(env, path, kCheckpointMagic, kCheckpointVersion,
                            payload);
 }
@@ -93,6 +100,11 @@ Status LoadInto(BinaryReader& reader, std::vector<Tensor>& params) {
 Status Module::LoadParameters(const std::string& path,
                               const std::string& expected_fingerprint,
                               Env* env) {
+  OBS_SCOPED_TIMER("checkpoint/model_load");
+  static obs::Counter& loads = obs::GetCounter("checkpoint/model_loads");
+  static obs::Counter& bytes =
+      obs::GetCounter("checkpoint/model_load_bytes");
+  loads.Inc();
   if (env == nullptr) env = Env::Default();
   auto params = Parameters();
 
@@ -113,6 +125,7 @@ Status Module::LoadParameters(const std::string& path,
       std::string payload,
       ReadEnvelopeFile(env, path, kCheckpointMagic, kCheckpointVersion,
                        kCheckpointVersion));
+  bytes.Inc(payload.size());
   BinaryReader reader = BinaryReader::FromBuffer(std::move(payload));
   STISAN_ASSIGN_OR_RETURN(std::string fingerprint, reader.ReadString());
   if (!expected_fingerprint.empty() && !fingerprint.empty() &&

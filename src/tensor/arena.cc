@@ -5,6 +5,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace stisan::arena {
 namespace {
 
@@ -34,9 +36,23 @@ struct State {
 
 // Leaked singleton: Release() runs from Storage destructors, which can fire
 // during static destruction in other translation units — the state must
-// outlive every Storage.
+// outlive every Storage. Pool health is polled by obs snapshots through
+// callback gauges; Acquire/Release pay no extra bookkeeping.
 State& GetState() {
-  static State* state = new State;
+  static State* state = [] {
+    auto* st = new State;
+    obs::RegisterCallbackGauge("arena/hits",
+                               [] { return double(GetStats().hits); });
+    obs::RegisterCallbackGauge("arena/misses",
+                               [] { return double(GetStats().misses); });
+    obs::RegisterCallbackGauge("arena/recycled",
+                               [] { return double(GetStats().recycled); });
+    obs::RegisterCallbackGauge("arena/dropped",
+                               [] { return double(GetStats().dropped); });
+    obs::RegisterCallbackGauge(
+        "arena/pooled_bytes", [] { return double(GetStats().pooled_bytes); });
+    return st;
+  }();
   return *state;
 }
 

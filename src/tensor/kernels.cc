@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace stisan::kernels {
 
 namespace {
@@ -39,6 +41,24 @@ ThreadPool& GlobalPool() {
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (!g_pool) {
     g_pool = std::make_unique<ThreadPool>(EnvInt64("STISAN_NUM_THREADS", 0));
+    // Snapshot-time gauges over the live pool (it can be swapped by
+    // SetNumThreads, so read through g_pool under the mutex each time).
+    static const bool registered = [] {
+      obs::RegisterCallbackGauge("threadpool/tasks_submitted", [] {
+        std::lock_guard<std::mutex> lk(g_pool_mutex);
+        return g_pool ? double(g_pool->tasks_submitted()) : 0.0;
+      });
+      obs::RegisterCallbackGauge("threadpool/tasks_completed", [] {
+        std::lock_guard<std::mutex> lk(g_pool_mutex);
+        return g_pool ? double(g_pool->tasks_completed()) : 0.0;
+      });
+      obs::RegisterCallbackGauge("threadpool/num_threads", [] {
+        std::lock_guard<std::mutex> lk(g_pool_mutex);
+        return g_pool ? double(g_pool->num_threads()) : 0.0;
+      });
+      return true;
+    }();
+    (void)registered;
   }
   return *g_pool;
 }
@@ -65,15 +85,20 @@ void ParallelRanges(int64_t n, int64_t cost_per_item,
     fn(0, n);
     return;
   }
+  static obs::Counter& dispatches = obs::GetCounter("kernels/dispatches");
+  dispatches.Inc();
   const int64_t per_chunk = (n + chunks - 1) / chunks;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * per_chunk;
     const int64_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
     pool.Submit([begin, end, &fn] {
-      tl_in_parallel_region = true;
+      // RAII so a throwing fn cannot leave the flag stuck on this worker.
+      struct RegionFlag {
+        RegionFlag() { tl_in_parallel_region = true; }
+        ~RegionFlag() { tl_in_parallel_region = false; }
+      } flag;
       fn(begin, end);
-      tl_in_parallel_region = false;
     });
   }
   pool.Wait();

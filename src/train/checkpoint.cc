@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/io_env.h"
 #include "util/serialize.h"
@@ -67,19 +68,31 @@ std::string EncodeTrainerState(const TrainerState& state) {
 
 Status SaveCheckpoint(Env* env, const std::string& path,
                       const TrainerState& state) {
+  OBS_SCOPED_TIMER("checkpoint/trainer_save");
   if (env == nullptr) env = Env::Default();
+  const std::string payload = EncodeTrainerState(state);
+  static obs::Counter& saves = obs::GetCounter("checkpoint/trainer_saves");
+  static obs::Counter& bytes =
+      obs::GetCounter("checkpoint/trainer_save_bytes");
+  saves.Inc();
+  bytes.Inc(payload.size());
   return WriteEnvelopeFile(env, path, kTrainerCheckpointMagic,
-                           kTrainerCheckpointVersion,
-                           EncodeTrainerState(state));
+                           kTrainerCheckpointVersion, payload);
 }
 
 Result<TrainerState> LoadCheckpoint(Env* env, const std::string& path,
                                     const std::string& expected_fingerprint) {
+  OBS_SCOPED_TIMER("checkpoint/trainer_load");
   if (env == nullptr) env = Env::Default();
   STISAN_ASSIGN_OR_RETURN(
       std::string payload,
       ReadEnvelopeFile(env, path, kTrainerCheckpointMagic,
                        kTrainerCheckpointVersion, kTrainerCheckpointVersion));
+  static obs::Counter& loads = obs::GetCounter("checkpoint/trainer_loads");
+  static obs::Counter& bytes =
+      obs::GetCounter("checkpoint/trainer_load_bytes");
+  loads.Inc();
+  bytes.Inc(payload.size());
   BinaryReader r = BinaryReader::FromBuffer(std::move(payload));
   TrainerState state;
   STISAN_ASSIGN_OR_RETURN(state.fingerprint, r.ReadString());

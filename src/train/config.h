@@ -64,6 +64,13 @@ struct TrainConfig {
   int64_t max_consecutive_nonfinite = 8;
   /// Checkpoint / resume behaviour (train::Trainer).
   CheckpointConfig checkpoint;
+  /// Path the trainer writes obs-registry JSON snapshots to (atomically,
+  /// via the io_env temp+rename path). Empty disables emission. Strictly
+  /// passive: the snapshot never feeds back into training.
+  std::string metrics_json;
+  /// Snapshot every N completed epochs (requires metrics_json; 0 = only at
+  /// the end of the run).
+  int64_t metrics_every = 0;
   /// Optional per-epoch hook (validation evaluation, checkpointing, ...).
   /// Returning false stops training early; the optimizer state is
   /// preserved across epochs either way.

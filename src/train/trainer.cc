@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "obs/metrics.h"
 #include "tensor/arena.h"
 #include "tensor/ops.h"
 #include "train/lr_schedule.h"
@@ -15,6 +16,34 @@
 #include "util/string_util.h"
 
 namespace stisan::train {
+
+namespace {
+
+/// Epoch-granularity registry emission (EpochStats and friends). Purely
+/// passive: gauges/counters record what already happened; nothing is read
+/// back into the training computation.
+void EmitEpochMetrics(const TrainConfig& cfg, int64_t completed_epochs,
+                      float loss, float lr, int64_t nonfinite_skipped) {
+  static obs::Counter& epochs = obs::GetCounter("train/epochs_completed");
+  static obs::Gauge& loss_gauge = obs::GetGauge("train/loss");
+  static obs::Gauge& lr_gauge = obs::GetGauge("train/lr");
+  static obs::Gauge& nonfinite = obs::GetGauge("train/nonfinite_skipped");
+  epochs.Inc();
+  loss_gauge.Set(loss);
+  lr_gauge.Set(lr);
+  nonfinite.Set(double(nonfinite_skipped));
+  const bool due = cfg.metrics_every > 0 &&
+                   completed_epochs % cfg.metrics_every == 0;
+  if (!cfg.metrics_json.empty() && due) {
+    Status st = obs::WriteJsonAtomic(nullptr, cfg.metrics_json);
+    if (!st.ok()) {
+      STISAN_LOG(WARNING) << "metrics snapshot write failed: "
+                          << st.ToString();
+    }
+  }
+}
+
+}  // namespace
 
 Trainer::Trainer(std::vector<Tensor> params, const TrainConfig& config,
                  Rng* rng, std::string name, std::string fingerprint)
@@ -74,6 +103,7 @@ Status Trainer::RestoreState(const TrainerState& state, Adam& optimizer) {
 }
 
 TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
+  OBS_SCOPED_TIMER("train/run");
   TrainResult result;
   // Tape buffers freed at the end of step k are recycled by step k+1 while
   // this scope is alive (STISAN_ARENA=1); the pool drains when Run returns.
@@ -165,6 +195,7 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
       result.interrupted = true;
       break;
     }
+    OBS_SCOPED_TIMER("train/epoch");
     rng_->Shuffle(order);
     double epoch_loss = 0.0;
     int64_t seen = 0;
@@ -172,10 +203,13 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
     int64_t in_batch = 0;
     bool stop_pending = false;
     optimizer.ZeroGrad();
+    static obs::Counter& windows_seen = obs::GetCounter("train/windows_seen");
+    static obs::Counter& opt_steps = obs::GetCounter("train/opt_steps");
     for (size_t idx : order) {
       if (cfg.max_train_windows > 0 && seen >= cfg.max_train_windows) break;
       Tensor loss = loss_fn(idx);
       ++seen;
+      windows_seen.Inc();
       const float loss_value = loss.data()[0];
       if (!std::isfinite(loss_value)) {
         ++result.nonfinite_skipped;
@@ -213,6 +247,7 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
         if (cfg.cosine_decay) optimizer.SetLr(schedule.Lr(opt_step));
         ++opt_step;
         optimizer.Step();
+        opt_steps.Inc();
         optimizer.ZeroGrad();
         in_batch = 0;
       }
@@ -233,6 +268,7 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
       const float norm = optimizer.ClipGradNorm(cfg.grad_clip);
       if (std::isfinite(norm)) {
         optimizer.Step();
+        opt_steps.Inc();
       } else {
         ++result.nonfinite_skipped;
       }
@@ -242,6 +278,9 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
                           ? static_cast<float>(epoch_loss / double(finite_seen))
                           : 0.0f;
     result.epochs_completed = epoch + 1;
+    EmitEpochMetrics(cfg, epoch + 1, last_epoch_loss,
+                     cfg.cosine_decay ? schedule.Lr(opt_step) : cfg.lr,
+                     result.nonfinite_skipped);
     const bool early_stop =
         cfg.on_epoch && !cfg.on_epoch({.epoch = epoch, .loss = last_epoch_loss});
     if (cfg.verbose) {
@@ -261,6 +300,15 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
     if (early_stop) break;
   }
   result.last_epoch_loss = last_epoch_loss;
+  // Final snapshot covers runs whose epoch count is not a multiple of
+  // metrics_every (and the metrics_every == 0 "only at the end" mode).
+  if (!cfg.metrics_json.empty()) {
+    Status st = obs::WriteJsonAtomic(nullptr, cfg.metrics_json);
+    if (!st.ok()) {
+      STISAN_LOG(WARNING) << "metrics snapshot write failed: "
+                          << st.ToString();
+    }
+  }
   return result;
 }
 

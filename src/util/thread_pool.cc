@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace stisan {
 
@@ -29,12 +30,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   task_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr ex = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(ex);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,9 +58,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // An escaping exception would std::terminate the worker; capture the
+    // first one for Wait() to rethrow and keep the in-flight count exact
+    // either way so Wait() never deadlocks after a throwing task.
+    std::exception_ptr exception;
+    try {
+      task();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (exception && !first_exception_) {
+        first_exception_ = std::move(exception);
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

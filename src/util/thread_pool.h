@@ -3,8 +3,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,6 +17,12 @@ namespace stisan {
 
 /// Fixed worker pool. Tasks are void() closures; Wait() blocks until all
 /// submitted tasks finish. Not copyable.
+///
+/// Exception safety: a task that throws never reaches std::terminate — the
+/// worker captures the first exception raised since the last Wait() and
+/// Wait() rethrows it on the calling thread once every in-flight task has
+/// drained (so the in-flight count stays consistent and no later Wait()
+/// deadlocks). Exceptions after the first are swallowed.
 class ThreadPool {
  public:
   /// `threads` = 0 uses the hardware concurrency (at least 1).
@@ -27,11 +35,21 @@ class ThreadPool {
   /// Enqueues a task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any of them raised (if one did).
   void Wait();
 
   int64_t num_threads() const {
     return static_cast<int64_t>(workers_.size());
+  }
+
+  /// Lifetime totals of tasks enqueued / finished, for observability
+  /// snapshots. Relaxed reads; exact once the pool is quiescent.
+  uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -44,10 +62,15 @@ class ThreadPool {
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_exception_;  // guarded by mutex_
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_completed_{0};
 };
 
 /// Runs fn(i) for i in [0, n) across the pool; blocks until done.
-/// fn must be safe to call concurrently for distinct i.
+/// fn must be safe to call concurrently for distinct i. If any fn(i) throws,
+/// the remaining indices of other chunks still run, and the first exception
+/// is rethrown here on the calling thread.
 void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn);
 

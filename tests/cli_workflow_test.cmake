@@ -59,3 +59,39 @@ run_cli(train --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model2.bin
 if(NOT EXISTS ${WORKDIR}/model2.bin.d/ckpt-000003.bin)
   message(FATAL_ERROR "resumed run did not extend the checkpoint series")
 endif()
+
+# Observability: --metrics-json emits a snapshot with per-phase timings,
+# cache hit rates and checkpoint I/O stats — and is strictly passive: the
+# checkpoint written with metrics enabled is byte-identical to the first
+# train run (same data, seed and flags).
+run_cli(train --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model_obs.bin
+        --epochs 1 --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8
+        --metrics-json ${WORKDIR}/train_metrics.json --metrics-every 1)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/model.bin ${WORKDIR}/model_obs.bin
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--metrics-json changed the checkpoint bytes")
+endif()
+if(NOT EXISTS ${WORKDIR}/train_metrics.json)
+  message(FATAL_ERROR "--metrics-json did not write the snapshot file")
+endif()
+file(READ ${WORKDIR}/train_metrics.json train_metrics)
+foreach(key "time/train/epoch" "train/loss" "relation/cache_hits"
+        "tape/cache_hits" "checkpoint/model_save_bytes"
+        "threadpool/tasks_completed")
+  if(NOT train_metrics MATCHES "\"${key}\"")
+    message(FATAL_ERROR "train metrics snapshot lacks ${key}:\n${train_metrics}")
+  endif()
+endforeach()
+
+run_cli(evaluate --data ${WORKDIR}/city.csv --ckpt ${WORKDIR}/model_obs.bin
+        --min-user 5 --min-poi 2 --poi-dim 8 --geo-dim 8
+        --metrics-json ${WORKDIR}/eval_metrics.json)
+file(READ ${WORKDIR}/eval_metrics.json eval_metrics)
+foreach(key "eval/instances" "time/eval/candidate_gen" "time/eval/score_batch"
+        "checkpoint/model_load_bytes")
+  if(NOT eval_metrics MATCHES "\"${key}\"")
+    message(FATAL_ERROR "eval metrics snapshot lacks ${key}:\n${eval_metrics}")
+  endif()
+endforeach()

@@ -13,6 +13,7 @@
 #include "core/taad.h"
 #include "core/tape.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
 
@@ -52,6 +53,27 @@ TEST(TapeTest, PositionsStrictlyIncreasing) {
   auto pos = TimeAwarePositions(t);
   for (size_t k = 1; k < pos.size(); ++k) {
     EXPECT_GT(pos[k], pos[k - 1]);  // the "+1" guarantees monotonicity
+  }
+}
+
+TEST(TapeTest, NonMonotoneTimestampsClampInsteadOfAborting) {
+  // Real check-in logs contain clock skew and out-of-order records; pre-fix
+  // a single negative gap hard-aborted the whole run via CHECK_GE(dt, 0).
+  obs::Counter& clamped = obs::GetCounter("tape/negative_gaps_clamped");
+  const uint64_t before = clamped.Get();
+  std::vector<double> t = {0, 100, 50, 150};  // t[2] < t[1]
+  auto pos = TimeAwarePositions(t);
+  EXPECT_EQ(clamped.Get() - before, 1u);  // counted exactly once
+  ASSERT_EQ(pos.size(), 4u);
+  for (size_t k = 1; k < pos.size(); ++k) {
+    EXPECT_GT(pos[k], pos[k - 1]);  // monotone positions survive the clamp
+  }
+  // Clamping the gap to zero in both the mean and the recurrence makes the
+  // result bit-identical to the sequence rebuilt from the clamped gaps
+  // {100, 0, 100}.
+  auto expect = TimeAwarePositions({0, 100, 100, 200});
+  for (size_t k = 0; k < pos.size(); ++k) {
+    EXPECT_DOUBLE_EQ(pos[k], expect[k]);
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "data/preprocess.h"
@@ -27,6 +28,71 @@ TEST(RankTest, TiesArePessimistic) {
 
 TEST(RankTest, TargetNotAtIndexZero) {
   EXPECT_EQ(RankOfTarget({1.0f, 9.0f, 2.0f}, 1), 0);
+}
+
+TEST(RankTest, NanCandidatesRankAsNegativeInfinity) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // A NaN candidate compares false against everything; pre-fix the `>=`
+  // test silently skipped it, which happened to be right, but the contract
+  // is now explicit: NaN candidates never outrank the target.
+  EXPECT_EQ(RankOfTarget({1.0f, nan, nan}, 0), 0);
+  EXPECT_EQ(RankOfTarget({nan, 2.0f, 1.0f, nan}, 1), 0);
+  // Finite candidates around the NaN still count normally.
+  EXPECT_EQ(RankOfTarget({1.0f, nan, 5.0f}, 0), 1);
+}
+
+TEST(RankDeathTest, NonFiniteTargetScoreAborts) {
+  // A NaN target would compare false against every candidate and claim a
+  // spurious perfect rank 0 — it must hard-fail instead.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(RankOfTarget({nan, 1.0f}, 0), "target score must be finite");
+  EXPECT_DEATH(RankOfTarget({1.0f, inf}, 1), "target score must be finite");
+}
+
+// ---- Bootstrap quantiles -------------------------------------------------------
+
+TEST(QuantileTest, NearestRankRoundsInsteadOfTruncating) {
+  // n=21, q=0.975: q*(n-1) = 19.5 — truncation picked 19 and dragged the
+  // upper CI endpoint low; nearest-rank rounds to 20.
+  EXPECT_EQ(QuantileNearestRankIndex(21, 0.975), 20u);
+  EXPECT_EQ(QuantileNearestRankIndex(21, 0.025), 1u);  // 0.5 rounds up
+  EXPECT_EQ(QuantileNearestRankIndex(1000, 0.975), 974u);
+  EXPECT_EQ(QuantileNearestRankIndex(1000, 0.025), 25u);
+}
+
+TEST(QuantileTest, EndpointsClampToValidIndices) {
+  EXPECT_EQ(QuantileNearestRankIndex(1, 0.5), 0u);
+  EXPECT_EQ(QuantileNearestRankIndex(10, 0.0), 0u);
+  EXPECT_EQ(QuantileNearestRankIndex(10, 1.0), 9u);
+}
+
+TEST(BootstrapTest, DegenerateRankVectorsPinCi) {
+  // Every resample of an all-hit vector has HR = 1, so both nearest-rank
+  // endpoints are exactly 1 (and symmetrically 0 for all-miss).
+  Rng rng(123);
+  auto all_hit =
+      BootstrapHitRateCi(std::vector<int64_t>(50, 0), 10, 0.95, rng);
+  EXPECT_EQ(all_hit.lo, 1.0);
+  EXPECT_EQ(all_hit.hi, 1.0);
+  auto all_miss =
+      BootstrapHitRateCi(std::vector<int64_t>(50, 99), 10, 0.95, rng);
+  EXPECT_EQ(all_miss.lo, 0.0);
+  EXPECT_EQ(all_miss.hi, 0.0);
+}
+
+TEST(BootstrapTest, MixedRanksCiBracketsSampleMean) {
+  // 30 hits, 10 misses at k=10: sample HR = 0.75. A 95% percentile CI over
+  // 1000 resamples must straddle the point estimate strictly.
+  std::vector<int64_t> ranks(30, 3);
+  ranks.insert(ranks.end(), 10, 42);
+  Rng rng(7);
+  auto ci = BootstrapHitRateCi(ranks, 10, 0.95, rng);
+  EXPECT_LT(ci.lo, 0.75);
+  EXPECT_GT(ci.hi, 0.75);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+  EXPECT_LT(ci.hi - ci.lo, 0.5);  // n=40 is small but not that small
 }
 
 TEST(MetricTest, HitRate) {

@@ -1,0 +1,284 @@
+// Observability layer tests: registry semantics (exact concurrent counting,
+// histogram bucketing, callback gauges), snapshot/JSON stability, and the
+// passivity guarantee — training and evaluation produce bit-identical
+// metrics and checkpoint bytes whether or not metrics snapshots are emitted.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "obs/metrics.h"
+#include "util/io_env.h"
+#include "util/thread_pool.h"
+
+namespace stisan::obs {
+namespace {
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/stisan_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir ? std::string(dir) : std::string();
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& name : *names) env->DeleteFile(dir + "/" + name);
+  }
+  rmdir(dir.c_str());
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(ObsCounterTest, SameNameReturnsSameCounter) {
+  Counter& a = GetCounter("obs_test/identity");
+  Counter& b = GetCounter("obs_test/identity");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.Get();
+  b.Inc(3);
+  EXPECT_EQ(a.Get() - before, 3u);
+}
+
+TEST(ObsCounterTest, ConcurrentIncrementsSumExactly) {
+  Counter& c = GetCounter("obs_test/concurrent");
+  const uint64_t before = c.Get();
+  ThreadPool pool(4);
+  // 10k increments of 1 plus 10k increments of i%3 from 4 workers: the
+  // relaxed fetch_adds must lose nothing.
+  ParallelFor(pool, 10000, [&c](int64_t i) {
+    c.Inc();
+    c.Inc(static_cast<uint64_t>(i % 3));
+  });
+  uint64_t expect = 10000;
+  for (int64_t i = 0; i < 10000; ++i) expect += static_cast<uint64_t>(i % 3);
+  EXPECT_EQ(c.Get() - before, expect);
+}
+
+TEST(ObsGaugeTest, LastWriteWins) {
+  Gauge& g = GetGauge("obs_test/gauge");
+  g.Set(1.5);
+  EXPECT_EQ(g.Get(), 1.5);
+  g.Set(-2.0);
+  EXPECT_EQ(g.Get(), -2.0);
+}
+
+TEST(ObsHistogramTest, BucketUpperBoundsAreInclusive) {
+  Histogram& h = GetHistogram("obs_test/buckets", {1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(2.0);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // bucket 3 (+inf)
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(ObsHistogramTest, ConcurrentObservesCountExactly) {
+  Histogram& h = GetHistogram("obs_test/hist_concurrent", {0.5});
+  ThreadPool pool(4);
+  ParallelFor(pool, 4000, [&h](int64_t i) {
+    h.Observe(i % 2 == 0 ? 0.25 : 1.0);
+  });
+  EXPECT_EQ(h.TotalCount(), 4000u);
+  EXPECT_EQ(h.BucketCount(0), 2000u);
+  EXPECT_EQ(h.BucketCount(1), 2000u);
+  // The CAS-loop sum must also be exact: every addend is representable.
+  EXPECT_DOUBLE_EQ(h.Sum(), 2000 * 0.25 + 2000 * 1.0);
+}
+
+TEST(ObsCallbackGaugeTest, EvaluatedAtSnapshotTime) {
+  static std::atomic<double> source{0.0};
+  RegisterCallbackGauge("obs_test/callback", [] { return source.load(); });
+  source.store(7.5);
+  auto find = [](const Snapshot& snap, const std::string& name) {
+    for (const auto& [key, value] : snap.gauges) {
+      if (key == name) return value;
+    }
+    return -1.0;
+  };
+  EXPECT_EQ(find(TakeSnapshot(), "obs_test/callback"), 7.5);
+  source.store(9.0);  // polled lazily: the next snapshot sees the new value
+  EXPECT_EQ(find(TakeSnapshot(), "obs_test/callback"), 9.0);
+  // Re-registering replaces the callback instead of stacking a duplicate.
+  RegisterCallbackGauge("obs_test/callback", [] { return 1.0; });
+  EXPECT_EQ(find(TakeSnapshot(), "obs_test/callback"), 1.0);
+}
+
+TEST(ObsTimerTest, ScopedTimerRecordsOneObservationPerScope) {
+  Histogram& h = TimerHistogram("obs_test/span");
+  const uint64_t before = h.TotalCount();
+  for (int i = 0; i < 3; ++i) {
+    OBS_SCOPED_TIMER("obs_test/span");
+  }
+  EXPECT_EQ(h.TotalCount() - before, 3u);
+}
+
+// ---- Snapshot / JSON -------------------------------------------------------
+
+TEST(ObsSnapshotTest, EntriesAreSortedByName) {
+  GetCounter("obs_test/zz");
+  GetCounter("obs_test/aa");
+  auto snap = TakeSnapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  EXPECT_TRUE(std::is_sorted(
+      snap.gauges.begin(), snap.gauges.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(ObsSnapshotTest, JsonIsStableAndRoundTrips) {
+  Counter& c = GetCounter("obs_test/json_counter");
+  c.Reset();
+  c.Inc(42);
+  Gauge& g = GetGauge("obs_test/json_gauge");
+  g.Set(0.1);  // not exactly representable: %.17g must round-trip it
+  auto snap = TakeSnapshot();
+  const std::string json = ToJson(snap);
+  // Stable: serialising the same snapshot twice is byte-identical.
+  EXPECT_EQ(json, ToJson(snap));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/json_counter\": 42"), std::string::npos);
+  // %.17g of 0.1 is the shortest representation that parses back exactly.
+  const size_t gauge_pos = json.find("\"obs_test/json_gauge\": ");
+  ASSERT_NE(gauge_pos, std::string::npos);
+  const double parsed = std::strtod(
+      json.c_str() + gauge_pos + std::string("\"obs_test/json_gauge\": ").size(),
+      nullptr);
+  EXPECT_EQ(parsed, 0.1);
+}
+
+TEST(ObsSnapshotTest, NonFiniteGaugesSerialiseAsStrings) {
+  GetGauge("obs_test/nan_gauge").Set(std::nan(""));
+  const std::string json = ToJson(TakeSnapshot());
+  EXPECT_NE(json.find("\"obs_test/nan_gauge\": \"nan\""), std::string::npos);
+  GetGauge("obs_test/nan_gauge").Set(0.0);
+}
+
+TEST(ObsSnapshotTest, WriteJsonAtomicProducesTheFile) {
+  const std::string dir = MakeTempDir("obs_json");
+  const std::string path = dir + "/metrics.json";
+  GetCounter("obs_test/exported").Inc();
+  ASSERT_TRUE(WriteJsonAtomic(nullptr, path).ok());
+  auto content = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("\"obs_test/exported\""), std::string::npos);
+  EXPECT_NE(SummaryLine(TakeSnapshot()).find("counters"), std::string::npos);
+  RemoveDirRecursive(dir);
+}
+
+TEST(ObsResetTest, ResetZeroesValuesButKeepsRegistrations) {
+  Counter& c = GetCounter("obs_test/reset_me");
+  c.Inc(5);
+  Histogram& h = GetHistogram("obs_test/reset_hist", {1.0});
+  h.Observe(0.5);
+  ResetAllForTesting();
+  EXPECT_EQ(c.Get(), 0u);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  // The same references stay valid and usable after the reset.
+  c.Inc();
+  EXPECT_EQ(c.Get(), 1u);
+  EXPECT_EQ(&c, &GetCounter("obs_test/reset_me"));
+}
+
+// ---- Passivity -------------------------------------------------------------
+// The acceptance bar for the whole layer: a train+eval pipeline must produce
+// bit-identical evaluation metrics, loss, and checkpoint bytes whether
+// metrics snapshots are emitted (including mid-training, every epoch) or not.
+
+struct PipelineOutcome {
+  std::map<std::string, double> metrics;
+  float loss = 0.0f;
+  std::string checkpoint_bytes;
+};
+
+PipelineOutcome RunSmallPipeline(const std::string& metrics_json,
+                                 const std::string& ckpt_path) {
+  auto dataset = data::GenerateSynthetic(data::GowallaLikeConfig(0.05));
+  auto split = data::TrainTestSplit(dataset, {.max_seq_len = 10});
+
+  core::StisanOptions options;
+  options.poi_dim = 8;
+  options.geo.dim = 8;
+  options.geo.fourier_dim = 4;
+  options.num_blocks = 1;
+  options.train.epochs = 2;
+  options.train.seed = 411;
+  options.train.max_train_windows = 40;
+  options.train.metrics_json = metrics_json;
+  options.train.metrics_every = 1;  // snapshot between epochs when enabled
+  core::StisanModel model(dataset, options);
+  model.Fit(dataset, split.train);
+
+  eval::CandidateGenerator generator(dataset);
+  eval::EvalOptions eval_options;
+  eval_options.num_negatives = 30;
+  eval_options.batch_size = 8;
+  auto acc = eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                            split.test, generator, eval_options);
+
+  PipelineOutcome out;
+  out.metrics = acc.Means();
+  out.metrics["MRR"] = acc.MeanReciprocalRank();
+  out.loss = model.last_epoch_loss();
+  EXPECT_TRUE(model.SaveParameters(ckpt_path, "obs-passivity").ok());
+  auto bytes = Env::Default()->ReadFileToString(ckpt_path);
+  EXPECT_TRUE(bytes.ok());
+  if (bytes.ok()) out.checkpoint_bytes = *bytes;
+  return out;
+}
+
+TEST(ObsPassivityTest, MetricsEmissionNeverChangesResults) {
+  const std::string dir = MakeTempDir("obs_passive");
+  // Run 1: no metrics emission. Run 2: per-epoch snapshots plus a final
+  // export, i.e. the CLI's --metrics-json --metrics-every 1 path.
+  auto plain = RunSmallPipeline("", dir + "/plain.ckpt");
+  auto instrumented =
+      RunSmallPipeline(dir + "/metrics.json", dir + "/instrumented.ckpt");
+
+  ASSERT_EQ(plain.metrics.size(), instrumented.metrics.size());
+  for (const auto& [key, value] : plain.metrics) {
+    ASSERT_TRUE(instrumented.metrics.contains(key)) << key;
+    EXPECT_EQ(value, instrumented.metrics.at(key)) << key;  // bit-exact
+  }
+  EXPECT_EQ(plain.loss, instrumented.loss);
+  ASSERT_FALSE(plain.checkpoint_bytes.empty());
+  EXPECT_EQ(plain.checkpoint_bytes, instrumented.checkpoint_bytes);
+
+  // The instrumented run actually wrote a snapshot with the promised
+  // content: per-phase timings and training stats.
+  auto json = Env::Default()->ReadFileToString(dir + "/metrics.json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"train/loss\""), std::string::npos);
+  EXPECT_NE(json->find("\"time/train/epoch\""), std::string::npos);
+  EXPECT_NE(json->find("\"train/windows_seen\""), std::string::npos);
+  RemoveDirRecursive(dir);
+}
+
+}  // namespace
+}  // namespace stisan::obs

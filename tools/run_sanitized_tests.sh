@@ -6,7 +6,7 @@
 #
 # Uses the asan/ubsan presets from CMakePresets.json (build trees
 # build-asan/ and build-ubsan/); the matching test presets run the
-# "unit", "robustness" and "fused" labels, skipping the end-to-end
+# "unit", "robustness", "fused" and "obs" labels, skipping the end-to-end
 # CLI/tool smoke tests whose sanitized runtimes are excessive on one core.
 #
 # After the unit pass, the "robustness" suite (fault-injection sweeps,
@@ -37,4 +37,12 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    STISAN_ARENA=1 ctest -L fused --output-on-failure)
+  echo "==== ${preset}: ctest (observability gate) ===="
+  # Concurrent counter/histogram increments from the thread pool are the
+  # registry's hot path; running the obs label explicitly under the
+  # sanitizers stresses exactly the lock-free parts.
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   ctest -L obs --output-on-failure)
 done

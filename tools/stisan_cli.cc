@@ -27,7 +27,9 @@
 #include "data/preprocess.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "obs/metrics.h"
 #include "train/signal.h"
+#include "util/io_env.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -87,9 +89,16 @@ void PrintUsage() {
       "             (--ckpt-every enables crash-safe epoch checkpoints in\n"
       "              FILE.d; --resume continues from the newest valid one;\n"
       "              SIGINT/SIGTERM checkpoint gracefully and exit 130)\n"
+      "             [--metrics-json FILE] [--metrics-every N]\n"
       "  evaluate   --data FILE --ckpt FILE [same model flags as train]\n"
+      "             [--metrics-json FILE]\n"
       "  recommend  --data FILE --ckpt FILE --user N [--k N]\n"
       "             [same model flags as train]\n\n"
+      "observability: --metrics-json writes the obs-registry snapshot\n"
+      "  (counters, gauges, timing histograms) as sorted JSON, atomically\n"
+      "  via temp+rename. --metrics-every N also snapshots every N epochs\n"
+      "  during training. Strictly passive: results are bit-identical with\n"
+      "  or without these flags.\n\n"
       "CSV format: user,poi,lat,lon,timestamp (header optional)\n");
 }
 
@@ -110,7 +119,26 @@ core::StisanOptions ModelOptions(const Args& args) {
   opts.train.knn_neighborhood = args.GetInt("knn", 100);
   opts.train.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   opts.train.verbose = args.GetInt("verbose", 0) != 0;
+  opts.train.metrics_json = args.Get("metrics-json", "");
+  opts.train.metrics_every = args.GetInt("metrics-every", 0);
   return opts;
+}
+
+// Writes the obs-registry snapshot to --metrics-json (when given) and logs
+// the one-line summary. Runs after the command's real work, so the snapshot
+// can never influence it.
+void EmitMetrics(const Args& args) {
+  const std::string path = args.Get("metrics-json", "");
+  const auto snapshot = obs::TakeSnapshot();
+  STISAN_LOG(INFO) << obs::SummaryLine(snapshot);
+  if (path.empty()) return;
+  Status st = WriteFileAtomic(Env::Default(), path, obs::ToJson(snapshot));
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: --metrics-json write failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::printf("wrote metrics snapshot: %s\n", path.c_str());
 }
 
 // Checkpoint fingerprint: the model architecture plus the training window
@@ -232,6 +260,9 @@ int Train(const Args& args) {
     return 1;
   }
   std::printf("saved checkpoint: %s\n", ckpt.c_str());
+  // Re-emit after SaveParameters so the snapshot includes the final model
+  // checkpoint's bytes/latency (the trainer already wrote one at run end).
+  EmitMetrics(args);
   return 0;
 }
 
@@ -272,6 +303,7 @@ int Evaluate(const Args& args) {
   auto ci = eval::BootstrapHitRateCi(acc.ranks(), 10, 0.95, rng);
   std::printf("HR@10 95%% CI: [%.4f, %.4f] over %lld users\n", ci.lo, ci.hi,
               static_cast<long long>(acc.count()));
+  EmitMetrics(args);
   return 0;
 }
 
