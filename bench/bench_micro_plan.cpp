@@ -1,0 +1,133 @@
+// Microbenchmarks for static execution plans (DESIGN.md §13): eager vs
+// replay, train-step (forward+backward) and eval-batch (forward only) on
+// the IAAB encoder trunk.
+//
+// Both modes run under a forced arena so "allocs_per_step" (fresh
+// allocations per step, from the arena miss counter) is comparable: the
+// eager rows show the pow2 pool's residual allocator traffic, the replay
+// rows must show 0 — every buffer of a replayed step is served from the
+// plan's exact-size reservations. Wall-clock deltas measure what the plan
+// actually removes: the backward topological sort, allocator round-trips
+// and the per-op dispatch the fused elementwise lowerings skip.
+//
+// Emit machine-readable results with:
+//   ./bench_micro_plan --benchmark_format=json
+// The checked-in BENCH_plan.json captures one JSON run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/iaab.h"
+#include "core/relation.h"
+#include "plan/plan.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
+
+namespace stisan::core {
+namespace {
+
+IaabOptions Options(int64_t d) {
+  IaabOptions o;
+  o.dim = d;
+  o.ffn_hidden = 2 * d;
+  o.dropout = 0.0f;
+  return o;
+}
+
+// One training step: fresh input leaf, full forward, scalar loss, backward.
+void RunTrainStep(benchmark::State& state, bool plan_on) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  plan::SetEnabledForTesting(plan_on ? 1 : 0);
+  {
+    Rng rng(7);
+    IaabEncoder encoder(Options(d), 1, rng);
+    Tensor rel = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+    Tensor mask = BuildPaddedCausalMask(n, 0);
+
+    arena::ForcedScope forced;  // count allocator traffic in both modes
+    arena::Scope pool;
+    plan::Scope plan_scope;  // inert when plans are off
+    auto step = [&] {
+      plan::StepScope step_scope;
+      Tensor x = Tensor::Randn({n, d}, rng, 1.0f, /*requires_grad=*/true);
+      Tensor out = encoder.Forward(x, rel, mask, rng);
+      ops::Sum(ops::Square(out)).Backward();
+    };
+    // Warm up outside the timed region: the capture step and the first
+    // replay, so the steady replay state is what gets measured.
+    step();
+    step();
+    for (Tensor p : encoder.Parameters()) p.ZeroGrad();
+
+    const arena::Stats before = arena::GetStats();
+    for (auto _ : state) {
+      step();
+      for (Tensor p : encoder.Parameters()) p.ZeroGrad();
+    }
+    const arena::Stats after = arena::GetStats();
+    state.counters["allocs_per_step"] =
+        static_cast<double>(after.misses - before.misses) /
+        static_cast<double>(state.iterations());
+  }
+  plan::SetEnabledForTesting(-1);
+}
+
+void BM_PlanTrainStepEager(benchmark::State& state) {
+  RunTrainStep(state, /*plan_on=*/false);
+}
+BENCHMARK(BM_PlanTrainStepEager)->Arg(32)->Arg(100);
+
+void BM_PlanTrainStepReplay(benchmark::State& state) {
+  RunTrainStep(state, /*plan_on=*/true);
+}
+BENCHMARK(BM_PlanTrainStepReplay)->Arg(32)->Arg(100);
+
+// One eval batch: forward-only scoring of a fixed-shape input (eval mode,
+// no gradients) — the evaluator's per-batch plan step.
+void RunEvalBatch(benchmark::State& state, bool plan_on) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  plan::SetEnabledForTesting(plan_on ? 1 : 0);
+  {
+    Rng rng(7);
+    IaabEncoder encoder(Options(d), 1, rng);
+    encoder.SetTraining(false);
+    Tensor rel = SoftmaxScaleRelation(Tensor::Zeros({n, n}), 0);
+    Tensor mask = BuildPaddedCausalMask(n, 0);
+
+    arena::ForcedScope forced;
+    arena::Scope pool;
+    plan::Scope plan_scope;
+    auto batch = [&] {
+      plan::StepScope step_scope;
+      Tensor x = Tensor::Randn({n, d}, rng, 1.0f);
+      Tensor out = encoder.Forward(x, rel, mask, rng);
+      benchmark::DoNotOptimize(out.data());
+    };
+    batch();
+    batch();
+
+    const arena::Stats before = arena::GetStats();
+    for (auto _ : state) batch();
+    const arena::Stats after = arena::GetStats();
+    state.counters["allocs_per_step"] =
+        static_cast<double>(after.misses - before.misses) /
+        static_cast<double>(state.iterations());
+  }
+  plan::SetEnabledForTesting(-1);
+}
+
+void BM_PlanEvalBatchEager(benchmark::State& state) {
+  RunEvalBatch(state, /*plan_on=*/false);
+}
+BENCHMARK(BM_PlanEvalBatchEager)->Arg(32)->Arg(100);
+
+void BM_PlanEvalBatchReplay(benchmark::State& state) {
+  RunEvalBatch(state, /*plan_on=*/true);
+}
+BENCHMARK(BM_PlanEvalBatchReplay)->Arg(32)->Arg(100);
+
+}  // namespace
+}  // namespace stisan::core
+
+BENCHMARK_MAIN();

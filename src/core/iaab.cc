@@ -27,6 +27,15 @@ Tensor IntervalAwareAttentionBlock::Forward(const Tensor& x,
                                             const Tensor& relation_bias,
                                             const Tensor& mask,
                                             Rng& rng) const {
+  Tensor base;
+  Tensor r = ForwardSplit(x, relation_bias, mask, rng, &base);
+  return base + r;
+}
+
+Tensor IntervalAwareAttentionBlock::ForwardSplit(const Tensor& x,
+                                                 const Tensor& relation_bias,
+                                                 const Tensor& mask, Rng& rng,
+                                                 Tensor* base) const {
   // ---- Attention sub-layer: x = x + Attn(LN(x)) (eq. 8) ----
   Tensor normed = ln_attention_.Forward(x);
   Tensor attended;
@@ -57,7 +66,8 @@ Tensor IntervalAwareAttentionBlock::Forward(const Tensor& x,
   // ---- Feed-forward sub-layer: h = h + FFN(LN(h)) ----
   Tensor ffn_out = ffn_.Forward(ln_ffn_.Forward(h), rng);
   if (gate_ffn_.defined()) ffn_out = ffn_out * gate_ffn_;
-  return h + residual_dropout_.Forward(ffn_out, rng);
+  *base = h;
+  return residual_dropout_.Forward(ffn_out, rng);
 }
 
 Tensor IntervalAwareAttentionBlock::AttentionMap(const Tensor& x,
@@ -90,10 +100,14 @@ IaabEncoder::IaabEncoder(const IaabOptions& options, int64_t num_blocks,
 Tensor IaabEncoder::Forward(const Tensor& x, const Tensor& relation_bias,
                             const Tensor& mask, Rng& rng) const {
   Tensor h = x;
-  for (const auto& block : blocks_) {
-    h = block->Forward(h, relation_bias, mask, rng);
+  for (size_t b = 0; b + 1 < blocks_.size(); ++b) {
+    h = blocks_[b]->Forward(h, relation_bias, mask, rng);
   }
-  return final_norm_.Forward(h);
+  // The last block's closing residual feeds straight into the final norm:
+  // split it so the pair can lower through FusedResidualLayerNorm.
+  Tensor base;
+  Tensor r = blocks_.back()->ForwardSplit(h, relation_bias, mask, rng, &base);
+  return final_norm_.ForwardResidual(base, r);
 }
 
 std::vector<Tensor> IaabEncoder::AttentionMaps(const Tensor& x,

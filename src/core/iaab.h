@@ -56,6 +56,13 @@ class IntervalAwareAttentionBlock : public nn::Module {
   Tensor Forward(const Tensor& x, const Tensor& relation_bias,
                  const Tensor& mask, Rng& rng) const;
 
+  /// Forward() split at the final residual: writes the attention-sublayer
+  /// output h into *base and returns the (gated, dropped) FFN branch r, so
+  /// the caller can fuse `h + r` into a downstream layer norm
+  /// (LayerNorm::ForwardResidual). Forward(x) == *base + result.
+  Tensor ForwardSplit(const Tensor& x, const Tensor& relation_bias,
+                      const Tensor& mask, Rng& rng, Tensor* base) const;
+
   /// Post-softmax attention map of this block's attention layer
   /// (interpretability probe; no dropout).
   Tensor AttentionMap(const Tensor& x, const Tensor& relation_bias,

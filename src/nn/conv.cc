@@ -30,7 +30,7 @@ Tensor CaserConv::Forward(const Tensor& x, Rng& rng) const {
   for (size_t k = 0; k < heights_.size(); ++k) {
     // Unfold windows of height h, apply the filter bank, ReLU, max-over-time.
     Tensor windows = ops::Unfold1D(x, heights_[k]);       // [n-h+1, h*d]
-    Tensor conv = ops::Relu(horizontal_[k]->Forward(windows));
+    Tensor conv = horizontal_[k]->ForwardRelu(windows);
     Tensor pooled = ops::MaxDim(conv, 0, /*keepdim=*/true);  // [1, F]
     features = features.defined() ? ops::Concat(features, pooled, 1) : pooled;
   }

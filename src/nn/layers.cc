@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "plan/plan.h"
+
 namespace stisan::nn {
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias,
@@ -20,6 +22,16 @@ Tensor Linear::Forward(const Tensor& x) const {
   Tensor out = ops::MatMul(x, weight_);
   if (bias_.defined()) out = out + bias_;
   return out;
+}
+
+Tensor Linear::ForwardRelu(const Tensor& x) const {
+  STISAN_CHECK_EQ(x.shape().back(), in_features_);
+  Tensor out = ops::MatMul(x, weight_);
+  if (bias_.defined()) {
+    if (plan::FusionEnabled()) return ops::FusedBiasRelu(out, bias_);
+    out = out + bias_;
+  }
+  return ops::Relu(out);
 }
 
 Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng,
@@ -48,6 +60,14 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
   return ops::LayerNorm(x, gamma_, beta_, eps_);
 }
 
+Tensor LayerNorm::ForwardResidual(const Tensor& base,
+                                  const Tensor& residual) const {
+  if (plan::FusionEnabled()) {
+    return ops::FusedResidualLayerNorm(base, residual, gamma_, beta_, eps_);
+  }
+  return Forward(base + residual);
+}
+
 PointwiseFeedForward::PointwiseFeedForward(int64_t dim, int64_t hidden_dim,
                                            float dropout, Rng& rng,
                                            bool zero_init_output)
@@ -61,7 +81,7 @@ PointwiseFeedForward::PointwiseFeedForward(int64_t dim, int64_t hidden_dim,
 }
 
 Tensor PointwiseFeedForward::Forward(const Tensor& x, Rng& rng) const {
-  Tensor h = ops::Relu(fc1_.Forward(x));
+  Tensor h = fc1_.ForwardRelu(x);
   h = dropout_.Forward(h, rng);
   return fc2_.Forward(h);
 }

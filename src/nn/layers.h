@@ -22,6 +22,11 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// relu(Forward(x)): lowers through ops::FusedBiasRelu (one node) when
+  /// plan::FusionEnabled(), otherwise the composed MatMul + Add + Relu
+  /// chain. Both paths are bit-identical.
+  Tensor ForwardRelu(const Tensor& x) const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
@@ -56,6 +61,11 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Forward(base + residual): lowers through ops::FusedResidualLayerNorm
+  /// (one node) when plan::FusionEnabled(), otherwise the composed Add +
+  /// LayerNorm chain. Both paths are bit-identical.
+  Tensor ForwardResidual(const Tensor& base, const Tensor& residual) const;
 
  private:
   Tensor gamma_;

@@ -1,0 +1,503 @@
+#include "plan/plan.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "tensor/arena.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace stisan::plan {
+namespace {
+
+using internal::TensorImpl;
+using internal::TensorImplPtr;
+
+// -1 = follow STISAN_STATIC_PLAN (default on), 0/1 = forced.
+std::atomic<int> g_plan_override{-1};
+// -1 = follow Enabled(), 0/1 = forced (tests compare fused vs composed).
+std::atomic<int> g_fusion_override{-1};
+
+// Bounds the per-context plan cache: eval contexts that score many distinct
+// candidate sets churn plans, and each cached plan pins its alloc record in
+// the arena's exact-size pool.
+constexpr size_t kMaxPlans = 32;
+
+bool InstrMatches(const Instr& in, const char* kind, const Shape& shape,
+                  const std::vector<int32_t>& inputs, bool is_view,
+                  bool requires_grad) {
+  return (in.kind == kind || std::strcmp(in.kind, kind) == 0) &&
+         in.is_view == is_view && in.requires_grad == requires_grad &&
+         in.shape == shape && in.inputs == inputs;
+}
+
+class Context {
+ public:
+  ~Context() {
+    for (auto& p : plans_) arena::UnreserveExact(p->alloc_sizes);
+  }
+
+  void BeginStep() {
+    ++step_seq_;
+    mode_ = kPending;
+    step_nodes_.clear();
+    candidates_.clear();
+    cursor_ = 0;
+    recording_ = Plan{};
+    chosen_ = nullptr;
+    diverged_ = false;
+    backward_done_ = false;
+    arena::BeginAllocRecord();
+    watch_.Reset();
+  }
+
+  void EndStep() {
+    static obs::Counter& steps_c = obs::GetCounter("plan/steps");
+    static obs::Counter& captures_c = obs::GetCounter("plan/captures");
+    static obs::Counter& replays_c = obs::GetCounter("plan/replays");
+    static obs::Counter& recaptures_c = obs::GetCounter("plan/recaptures");
+    std::vector<size_t> allocs = arena::EndAllocRecord();
+    ++stats_.steps;
+    steps_c.Inc();
+    switch (mode_) {
+      case kReplay: {
+        Plan* full = nullptr;
+        for (Plan* p : candidates_) {
+          if (p->instrs.size() == cursor_) {
+            full = p;
+            break;
+          }
+        }
+        if (full != nullptr) {
+          ++full->replays;
+          ++stats_.replays;
+          replays_c.Inc();
+          MoveToFront(full);
+          obs::GetHistogram("time/plan/replay_step")
+              .Observe(watch_.ElapsedSeconds());
+        } else {
+          // The step ended short of every candidate: a genuinely shorter
+          // variant of a known prefix. Record it as its own plan.
+          ++stats_.recaptures;
+          recaptures_c.Inc();
+          Plan np;
+          np.instrs.assign(candidates_[0]->instrs.begin(),
+                           candidates_[0]->instrs.begin() +
+                               static_cast<ptrdiff_t>(cursor_));
+          np.backward_order = std::move(recording_.backward_order);
+          np.backward_root = recording_.backward_root;
+          np.backward_poisoned = recording_.backward_poisoned;
+          np.alloc_sizes = std::move(allocs);
+          Insert(std::move(np));
+        }
+        break;
+      }
+      case kCapture: {
+        if (!recording_.instrs.empty()) {
+          if (diverged_) {
+            ++stats_.recaptures;
+            recaptures_c.Inc();
+          } else {
+            ++stats_.captures;
+            captures_c.Inc();
+          }
+          recording_.alloc_sizes = std::move(allocs);
+          Insert(std::move(recording_));
+        }
+        break;
+      }
+      case kPending:  // empty step: no ops ran
+      case kIdle:
+        break;
+    }
+    mode_ = kIdle;
+    step_nodes_.clear();
+    candidates_.clear();
+    recording_ = Plan{};
+    chosen_ = nullptr;
+  }
+
+  bool step_open() const { return mode_ != kIdle; }
+
+  void OnNode(TensorImpl* node, const char* kind,
+              const TensorImplPtr* parents, size_t num_parents, bool is_view) {
+    if (mode_ == kIdle) return;
+    const int32_t pos = static_cast<int32_t>(step_nodes_.size());
+    node->plan_step = step_seq_;
+    node->plan_pos = pos;
+    step_nodes_.push_back(node);
+
+    inputs_scratch_.clear();
+    for (size_t i = 0; i < num_parents; ++i) {
+      const TensorImpl* p = parents[i].get();
+      // Nodes born in earlier steps (params, cached masks/relations) are
+      // external inputs; their stale plan_pos must not alias a slot.
+      inputs_scratch_.push_back(
+          p != nullptr && p->plan_step == step_seq_ ? p->plan_pos : -1);
+    }
+    const bool rg = node->requires_grad;
+
+    if (mode_ == kPending) {
+      for (auto& up : plans_) {
+        if (!up->instrs.empty() &&
+            InstrMatches(up->instrs[0], kind, node->shape, inputs_scratch_,
+                         is_view, rg)) {
+          candidates_.push_back(up.get());
+        }
+      }
+      if (!candidates_.empty()) {
+        mode_ = kReplay;
+        cursor_ = 1;
+        return;
+      }
+      mode_ = kCapture;
+      Append(kind, node, is_view, rg);
+      return;
+    }
+
+    if (mode_ == kReplay) {
+      Plan* prefix_src = candidates_[0];
+      size_t keep = 0;
+      for (Plan* p : candidates_) {
+        if (cursor_ < p->instrs.size() &&
+            InstrMatches(p->instrs[cursor_], kind, node->shape,
+                         inputs_scratch_, is_view, rg)) {
+          candidates_[keep++] = p;
+        }
+      }
+      if (keep > 0) {
+        candidates_.resize(keep);
+        ++cursor_;
+        return;
+      }
+      // Divergence: the validated prefix carries over into a fresh capture.
+      recording_ = Plan{};
+      recording_.instrs.assign(
+          prefix_src->instrs.begin(),
+          prefix_src->instrs.begin() + static_cast<ptrdiff_t>(cursor_));
+      if (backward_done_ && chosen_ != nullptr) {
+        // The backward already replayed from the matched plan; its order
+        // references prefix slots only, so it transfers to the new plan.
+        recording_.backward_order = chosen_->backward_order;
+        recording_.backward_root = chosen_->backward_root;
+      }
+      candidates_.clear();
+      chosen_ = nullptr;
+      mode_ = kCapture;
+      diverged_ = true;
+      Append(kind, node, is_view, rg);
+      return;
+    }
+
+    Append(kind, node, is_view, rg);  // kCapture
+  }
+
+  bool CanReplayBackward(TensorImpl* root) {
+    if (mode_ != kReplay || backward_done_) return false;
+    if (root->plan_step != step_seq_) return false;
+    for (Plan* p : candidates_) {
+      if (p->instrs.size() == cursor_ && !p->backward_poisoned &&
+          !p->backward_order.empty() && p->backward_root == root->plan_pos) {
+        chosen_ = p;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void ReplayBackward() {
+    STISAN_CHECK(chosen_ != nullptr);
+    for (int32_t pos : chosen_->backward_order) {
+      TensorImpl* node = step_nodes_[static_cast<size_t>(pos)];
+      if (node->backward_fn && node->storage->has_grad()) {
+        node->backward_fn(*node);
+      }
+    }
+    backward_done_ = true;
+  }
+
+  bool WantsBackwardRecord() const {
+    if (backward_done_) return false;
+    if (mode_ == kCapture) {
+      return !recording_.backward_poisoned;
+    }
+    if (mode_ == kReplay) {
+      // A matched plan missing its order (e.g. captured from a step whose
+      // loss was non-finite and skipped Backward), or a short step whose
+      // order will ride on the prefix plan recorded at EndStep.
+      return true;
+    }
+    return false;
+  }
+
+  void OnBackwardSwept(TensorImpl* root,
+                       const std::vector<TensorImpl*>& invoked) {
+    if (mode_ == kIdle) return;
+    backward_done_ = true;
+    Plan* target = nullptr;
+    if (mode_ == kCapture) {
+      target = &recording_;
+    } else if (mode_ == kReplay) {
+      for (Plan* p : candidates_) {
+        if (p->instrs.size() == cursor_) {
+          target = p;
+          break;
+        }
+      }
+      if (target == nullptr) target = &recording_;  // short-step stash
+      if (target->backward_poisoned || !target->backward_order.empty()) return;
+    }
+    if (target == nullptr) return;
+    if (target->backward_root != -1) {
+      // Second Backward() in one step — the flat-list shortcut no longer
+      // models the sweep; keep this plan forward-only.
+      target->backward_order.clear();
+      target->backward_poisoned = true;
+      return;
+    }
+    if (root->plan_step != step_seq_) {
+      target->backward_poisoned = true;
+      return;
+    }
+    target->backward_root = root->plan_pos;
+    target->backward_order.reserve(invoked.size());
+    for (TensorImpl* node : invoked) {
+      if (node->plan_step != step_seq_) {
+        // An out-of-step node (persistent subgraph) participated: replaying
+        // by slot position cannot reach it. Forward-only plan.
+        target->backward_order.clear();
+        target->backward_root = -1;
+        target->backward_poisoned = true;
+        return;
+      }
+      target->backward_order.push_back(node->plan_pos);
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  size_t plan_count() const { return plans_.size(); }
+
+  std::string Dump() const {
+    std::ostringstream os;
+    os << "plan cache: " << plans_.size() << " plan(s)\n";
+    for (size_t pi = 0; pi < plans_.size(); ++pi) {
+      const Plan& p = *plans_[pi];
+      size_t alloc_bytes = 0;
+      for (size_t s : p.alloc_sizes) alloc_bytes += s * sizeof(float);
+      os << "plan #" << pi << ": " << p.instrs.size() << " instrs, "
+         << p.alloc_sizes.size() << " allocs (" << alloc_bytes
+         << " bytes peak), backward "
+         << (p.backward_poisoned
+                 ? "poisoned"
+                 : (p.backward_order.empty()
+                        ? "none"
+                        : std::to_string(p.backward_order.size()) +
+                              " closures from slot " +
+                              std::to_string(p.backward_root)))
+         << ", replays " << p.replays << "\n";
+      for (size_t i = 0; i < p.instrs.size(); ++i) {
+        const Instr& in = p.instrs[i];
+        os << "  %" << i << " = " << in.kind << "(";
+        for (size_t j = 0; j < in.inputs.size(); ++j) {
+          if (j) os << ", ";
+          if (in.inputs[j] < 0) {
+            os << "ext";
+          } else {
+            os << "%" << in.inputs[j];
+          }
+        }
+        os << ") " << FormatShape(in.shape) << " elems=" << in.elems;
+        if (in.is_view) os << " view";
+        if (in.requires_grad) os << " grad";
+        os << "\n";
+      }
+    }
+    return os.str();
+  }
+
+ private:
+  enum Mode { kIdle, kPending, kCapture, kReplay };
+
+  static std::string FormatShape(const Shape& s) {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (i) os << ", ";
+      os << s[i];
+    }
+    os << "]";
+    return os.str();
+  }
+
+  void Append(const char* kind, const TensorImpl* node, bool is_view,
+              bool rg) {
+    Instr in;
+    in.kind = kind;
+    in.shape = node->shape;
+    in.inputs = inputs_scratch_;
+    int64_t elems = 1;
+    for (int64_t d : node->shape) elems *= d;
+    in.elems = elems;
+    in.is_view = is_view;
+    in.requires_grad = rg;
+    recording_.instrs.push_back(std::move(in));
+  }
+
+  void Insert(Plan&& plan) {
+    auto up = std::make_unique<Plan>(std::move(plan));
+    arena::ReserveExact(up->alloc_sizes);
+    plans_.insert(plans_.begin(), std::move(up));
+    if (plans_.size() > kMaxPlans) {
+      arena::UnreserveExact(plans_.back()->alloc_sizes);
+      plans_.pop_back();
+    }
+  }
+
+  void MoveToFront(Plan* p) {
+    for (size_t i = 0; i < plans_.size(); ++i) {
+      if (plans_[i].get() == p) {
+        if (i > 0) {
+          auto up = std::move(plans_[i]);
+          plans_.erase(plans_.begin() + static_cast<ptrdiff_t>(i));
+          plans_.insert(plans_.begin(), std::move(up));
+        }
+        return;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Plan>> plans_;  // MRU order
+  uint64_t step_seq_ = 0;
+  Mode mode_ = kIdle;
+  std::vector<TensorImpl*> step_nodes_;
+  std::vector<Plan*> candidates_;
+  Plan recording_;
+  size_t cursor_ = 0;
+  Plan* chosen_ = nullptr;
+  bool diverged_ = false;
+  bool backward_done_ = false;
+  std::vector<int32_t> inputs_scratch_;
+  Stats stats_;
+  Stopwatch watch_;
+};
+
+thread_local Context* g_ctx = nullptr;
+thread_local int g_scope_depth = 0;
+thread_local int g_step_depth = 0;
+
+}  // namespace
+
+bool Enabled() {
+  const int ov = g_plan_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  static const bool env_on = [] {
+    const char* v = std::getenv("STISAN_STATIC_PLAN");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return env_on;
+}
+
+void SetEnabledForTesting(int value) {
+  g_plan_override.store(value, std::memory_order_relaxed);
+}
+
+bool FusionEnabled() {
+  const int ov = g_fusion_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return Enabled();
+}
+
+void SetFusionEnabledForTesting(int value) {
+  g_fusion_override.store(value, std::memory_order_relaxed);
+}
+
+Scope::Scope() {
+  if (!Enabled()) return;
+  ++g_scope_depth;
+  if (g_ctx != nullptr) return;  // nested: share the outer context
+  // The forced arena scope must outlive the context: the context destructor
+  // unreserves every cached plan's exact-size buffers, which requires the
+  // pool to still be active.
+  forced_ = new arena::ForcedScope();
+  g_ctx = new Context();
+  owner_ = true;
+}
+
+Scope::~Scope() {
+  if (forced_ == nullptr && !owner_ && g_scope_depth == 0) return;  // inert
+  if (g_scope_depth > 0) --g_scope_depth;
+  if (!owner_) return;
+  delete g_ctx;
+  g_ctx = nullptr;
+  delete static_cast<arena::ForcedScope*>(forced_);
+  forced_ = nullptr;
+}
+
+StepScope::StepScope() {
+  if (g_ctx == nullptr) return;
+  if (g_step_depth++ > 0) return;  // nested steps are inert
+  g_ctx->BeginStep();
+  engaged_ = true;
+}
+
+StepScope::~StepScope() {
+  if (g_ctx == nullptr) return;
+  if (g_step_depth > 0) --g_step_depth;
+  if (engaged_) g_ctx->EndStep();
+}
+
+void OnNodeCreated(TensorImpl* node, const char* kind,
+                   const TensorImplPtr* parents, size_t num_parents,
+                   bool is_view) {
+  Context* ctx = g_ctx;
+  if (ctx == nullptr) return;
+  ctx->OnNode(node, kind, parents, num_parents, is_view);
+}
+
+bool CanReplayBackward(TensorImpl* root) {
+  Context* ctx = g_ctx;
+  if (ctx == nullptr) return false;
+  return ctx->CanReplayBackward(root);
+}
+
+void ReplayBackward() {
+  STISAN_CHECK(g_ctx != nullptr);
+  g_ctx->ReplayBackward();
+}
+
+bool WantsBackwardRecord() {
+  Context* ctx = g_ctx;
+  if (ctx == nullptr) return false;
+  return ctx->WantsBackwardRecord();
+}
+
+void OnBackwardSwept(TensorImpl* root,
+                     const std::vector<TensorImpl*>& invoked) {
+  Context* ctx = g_ctx;
+  if (ctx == nullptr) return;
+  ctx->OnBackwardSwept(root, invoked);
+}
+
+Stats GetStats() {
+  return g_ctx != nullptr ? g_ctx->stats() : Stats{};
+}
+
+void ResetStats() {
+  if (g_ctx != nullptr) g_ctx->ResetStats();
+}
+
+size_t CachedPlanCount() {
+  return g_ctx != nullptr ? g_ctx->plan_count() : 0;
+}
+
+std::string DumpActivePlans() {
+  return g_ctx != nullptr ? g_ctx->Dump() : std::string("no active plan scope\n");
+}
+
+}  // namespace stisan::plan

@@ -1,0 +1,161 @@
+// Static execution plans: capture the autograd tape once, replay it as an
+// instruction list (DESIGN.md §13).
+//
+// Every training step and every eval batch rebuilds an *identical* tape —
+// same ops, same shapes, same allocation sizes. A plan::Scope turns that
+// repetition into a compiled artifact:
+//
+//  - Capture: the first step inside a StepScope records every node the ops
+//    layer creates (op kind, output shape, input slot positions, buffer
+//    size) into a static instruction list, plus the exact order in which
+//    the eager backward sweep invoked backward closures and the full
+//    allocation record of the step.
+//  - Replay: subsequent steps whose op stream matches a cached plan skip
+//    the per-step bookkeeping the structure makes redundant — the backward
+//    topological sort (the recorded invocation order is replayed as a flat
+//    list) and allocator traffic (the plan's alloc record feeds
+//    arena::ReserveExact, so every buffer is served from an exact-size
+//    pool: zero mallocs per replayed step).
+//  - Recapture: any divergence from the cached instruction stream — a new
+//    sequence length, an extra op, a changed requires_grad — falls back to
+//    capture for that step, transparently. The validated prefix carries
+//    over; the new plan joins the cache. Counted in plan/recaptures.
+//
+// Replay is *structural*: op bodies still execute eagerly (fresh inputs,
+// fresh RNG draws), so results are bit-identical to the eager path by
+// construction — the plan only removes work whose outcome is fully
+// determined by graph structure. STISAN_STATIC_PLAN=0 disables the whole
+// subsystem and restores the pre-plan eager path exactly.
+//
+// Layering: this library sits between the arena and the tensor library. It
+// uses TensorImpl only through its header (inline members + the backward
+// std::function), so stisan_tensor can link stisan_plan without a cycle.
+//
+// Threading: contexts are thread_local (one per Scope-owning thread); a
+// step's nodes are created on one thread. The arena alloc record is global
+// — one plan step at a time per process, which the single-threaded tape
+// already guarantees.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stisan::plan {
+
+/// True when plan capture/replay is on: STISAN_STATIC_PLAN unset or =1
+/// (default on), overridable for tests (1 on, 0 off, -1 restore env).
+bool Enabled();
+void SetEnabledForTesting(int value);
+
+/// True when modules should lower elementwise chains through the fused ops
+/// (ops::FusedBiasRelu, ops::FusedResidualLayerNorm). Follows Enabled()
+/// unless overridden — the fused lowerings are bit-identical to the
+/// composed chains, but STISAN_STATIC_PLAN=0 must restore the exact
+/// pre-plan op stream.
+bool FusionEnabled();
+void SetFusionEnabledForTesting(int value);
+
+/// One recorded tape event: the signature by which replay validates that
+/// the current step still matches the captured structure.
+struct Instr {
+  const char* kind = nullptr;  // static string literal from the ops layer
+  Shape shape;                 // output shape
+  std::vector<int32_t> inputs;  // producer slot per parent; -1 = external
+  int64_t elems = 0;            // output buffer size
+  bool is_view = false;
+  bool requires_grad = false;
+};
+
+/// A captured step: forward instruction list, backward invocation order
+/// (slot positions, in eager sweep order), and the step's allocation sizes.
+struct Plan {
+  std::vector<Instr> instrs;
+  std::vector<int32_t> backward_order;
+  int32_t backward_root = -1;
+  bool backward_poisoned = false;  // sweep touched out-of-step nodes
+  std::vector<size_t> alloc_sizes;
+  uint64_t replays = 0;
+};
+
+/// Installs a plan context on this thread (nested scopes share the
+/// outermost context and its plan cache). Also forces the arena on
+/// (arena::ForcedScope): exact-size reservations live in the pool. No-op
+/// when Enabled() is false.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  void* forced_ = nullptr;  // arena::ForcedScope, owner only
+  bool owner_ = false;
+};
+
+/// Brackets one step (train window / eval batch). Nodes created inside are
+/// routed to the active context; EndStep (the destructor) finalises a
+/// capture or retires a replay. No-op without an enclosing Scope; nested
+/// StepScopes are inert.
+class StepScope {
+ public:
+  StepScope();
+  ~StepScope();
+  StepScope(const StepScope&) = delete;
+  StepScope& operator=(const StepScope&) = delete;
+
+ private:
+  bool engaged_ = false;
+};
+
+// ---- Hooks from the tensor layer (cheap no-ops when no step is open) -------
+
+/// Records/validates a freshly created node. Called by ops.cc MakeNode /
+/// MakeView before parents are moved into the node.
+void OnNodeCreated(internal::TensorImpl* node, const char* kind,
+                   const internal::TensorImplPtr* parents, size_t num_parents,
+                   bool is_view);
+
+/// True when the active step fully matched a cached plan that recorded a
+/// backward order rooted at `root` — Tensor::Backward may then seed the
+/// root grad and call ReplayBackward instead of topo-sorting.
+bool CanReplayBackward(internal::TensorImpl* root);
+
+/// Replays the recorded backward invocation order (root grad must already
+/// be seeded). Only valid immediately after CanReplayBackward returned true.
+void ReplayBackward();
+
+/// True when the eager sweep about to run should report its invocation
+/// order via OnBackwardSwept (capturing, or a replayed plan missing one).
+bool WantsBackwardRecord();
+
+/// Stores the eager sweep's backward invocation order into the step's
+/// recording (or attaches it to the matched plan).
+void OnBackwardSwept(internal::TensorImpl* root,
+                     const std::vector<internal::TensorImpl*>& invoked);
+
+// ---- Introspection ---------------------------------------------------------
+
+struct Stats {
+  uint64_t steps = 0;
+  uint64_t captures = 0;    // fresh captures (new first-op signature)
+  uint64_t replays = 0;     // steps fully served by a cached plan
+  uint64_t recaptures = 0;  // mid-step divergence or short step
+};
+/// Stats of this thread's active context (zeros when none).
+Stats GetStats();
+void ResetStats();
+
+/// Number of plans cached in this thread's active context.
+size_t CachedPlanCount();
+
+/// Human-readable dump of every cached plan in this thread's active context
+/// (op list with slots, fused kinds, backward order, alloc footprint) —
+/// the tools/dump_plan CLI output.
+std::string DumpActivePlans();
+
+}  // namespace stisan::plan

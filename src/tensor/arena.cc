@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -21,16 +22,32 @@ int FloorLog2(size_t n) {
   return b;
 }
 
+// One exact-size bucket: `wanted` buffers of exactly this capacity are kept
+// pooled (stocked by ReserveExact, restocked by Release at step teardown).
+struct ExactBucket {
+  size_t wanted = 0;
+  std::vector<std::vector<float>> free;
+};
+
 struct State {
   std::mutex mutex;
   int scope_depth = 0;
   std::vector<std::vector<float>> buckets[kNumBuckets];
   size_t pooled_bytes = 0;
+  std::unordered_map<size_t, ExactBucket> exact;  // keyed by capacity
+  size_t exact_bytes = 0;
+  bool recording = false;
+  std::vector<size_t> record;
   Stats stats;
 
   void DrainLocked() {
     for (auto& bucket : buckets) bucket.clear();
     pooled_bytes = 0;
+    // Exact buckets drain too (the outermost scope is gone), but the wanted
+    // counts survive: a plan that outlives this drain restocks lazily from
+    // the releases of its next step.
+    for (auto& [cap, b] : exact) b.free.clear();
+    exact_bytes = 0;
   }
 };
 
@@ -43,6 +60,8 @@ State& GetState() {
     auto* st = new State;
     obs::RegisterCallbackGauge("arena/hits",
                                [] { return double(GetStats().hits); });
+    obs::RegisterCallbackGauge("arena/exact_hits",
+                               [] { return double(GetStats().exact_hits); });
     obs::RegisterCallbackGauge("arena/misses",
                                [] { return double(GetStats().misses); });
     obs::RegisterCallbackGauge("arena/recycled",
@@ -51,12 +70,15 @@ State& GetState() {
                                [] { return double(GetStats().dropped); });
     obs::RegisterCallbackGauge(
         "arena/pooled_bytes", [] { return double(GetStats().pooled_bytes); });
+    obs::RegisterCallbackGauge(
+        "arena/exact_bytes", [] { return double(GetStats().exact_bytes); });
     return st;
   }();
   return *state;
 }
 
 std::atomic<int> g_override{-1};
+std::atomic<int> g_forced{0};
 
 bool EnvEnabled() {
   static const bool on = [] {
@@ -71,6 +93,7 @@ bool EnvEnabled() {
 bool Enabled() {
   const int ov = g_override.load(std::memory_order_relaxed);
   if (ov >= 0) return ov != 0;
+  if (g_forced.load(std::memory_order_relaxed) > 0) return true;
   return EnvEnabled();
 }
 
@@ -97,11 +120,41 @@ Scope::~Scope() {
   if (--st.scope_depth == 0) st.DrainLocked();
 }
 
+ForcedScope::ForcedScope() {
+  g_forced.fetch_add(1, std::memory_order_relaxed);
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  ++st.scope_depth;
+}
+
+ForcedScope::~ForcedScope() {
+  {
+    State& st = GetState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (--st.scope_depth == 0) st.DrainLocked();
+  }
+  g_forced.fetch_sub(1, std::memory_order_relaxed);
+}
+
 std::vector<float> AcquireZeroed(size_t n) {
   if (n > 0 && Enabled()) {
     State& st = GetState();
     std::lock_guard<std::mutex> lock(st.mutex);
     if (st.scope_depth > 0) {
+      if (st.recording) st.record.push_back(n);
+      // Exact-size reservation first: a replayed plan step finds every one
+      // of its buffers here.
+      if (!st.exact.empty()) {
+        auto it = st.exact.find(n);
+        if (it != st.exact.end() && !it->second.free.empty()) {
+          std::vector<float> buf = std::move(it->second.free.back());
+          it->second.free.pop_back();
+          st.exact_bytes -= buf.capacity() * sizeof(float);
+          ++st.stats.exact_hits;
+          buf.assign(n, 0.0f);  // capacity == n; no reallocation
+          return buf;
+        }
+      }
       // Smallest bucket whose buffers are guaranteed to hold n floats.
       const int bucket = FloorLog2(n) + ((n & (n - 1)) != 0 ? 1 : 0);
       if (bucket < kNumBuckets && !st.buckets[bucket].empty()) {
@@ -118,16 +171,36 @@ std::vector<float> AcquireZeroed(size_t n) {
   return std::vector<float>(n, 0.0f);
 }
 
+std::shared_ptr<std::vector<float>> AcquireSharedZeroed(size_t n) {
+  return std::shared_ptr<std::vector<float>>(
+      new std::vector<float>(AcquireZeroed(n)), [](std::vector<float>* v) {
+        Release(std::move(*v));
+        delete v;
+      });
+}
+
 void Release(std::vector<float>&& buffer) {
   const size_t cap = buffer.capacity();
   if (cap == 0 || !Enabled()) return;  // dtor frees
   State& st = GetState();
   std::lock_guard<std::mutex> lock(st.mutex);
   if (st.scope_depth == 0) return;
+  const size_t bytes = cap * sizeof(float);
+  // Restock an under-stocked exact reservation of this capacity (exempt
+  // from the pow2 byte cap: the exact footprint is bounded by the plans'
+  // recorded peaks).
+  if (!st.exact.empty()) {
+    auto it = st.exact.find(cap);
+    if (it != st.exact.end() && it->second.free.size() < it->second.wanted) {
+      it->second.free.push_back(std::move(buffer));
+      st.exact_bytes += bytes;
+      ++st.stats.recycled;
+      return;
+    }
+  }
   // A buffer parked in bucket b must satisfy any request with ceil bucket b,
   // i.e. capacity >= 2^b, so file by floor(log2(capacity)).
   const int bucket = FloorLog2(cap);
-  const size_t bytes = cap * sizeof(float);
   if (bucket >= kNumBuckets || st.pooled_bytes + bytes > kMaxPooledBytes) {
     ++st.stats.dropped;
     return;
@@ -137,11 +210,84 @@ void Release(std::vector<float>&& buffer) {
   ++st.stats.recycled;
 }
 
+void ReserveExact(const std::vector<size_t>& sizes) {
+  if (sizes.empty() || !Enabled()) return;
+  std::unordered_map<size_t, size_t> need;
+  for (size_t n : sizes)
+    if (n > 0) ++need[n];
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.scope_depth == 0) return;
+  for (const auto& [n, count] : need) {
+    ExactBucket& b = st.exact[n];
+    b.wanted += count;
+    // Scavenge capacity-exact buffers already parked in the pow2 bucket
+    // (the capture step released its tape there before the plan finalised).
+    const int bucket = FloorLog2(n);
+    if (bucket < kNumBuckets) {
+      auto& pb = st.buckets[bucket];
+      for (size_t i = 0; i < pb.size() && b.free.size() < b.wanted;) {
+        if (pb[i].capacity() == n) {
+          st.pooled_bytes -= n * sizeof(float);
+          st.exact_bytes += n * sizeof(float);
+          b.free.push_back(std::move(pb[i]));
+          pb[i] = std::move(pb.back());
+          pb.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    // Reserve the shortfall fresh (capacity only; zero-filled on acquire).
+    while (b.free.size() < b.wanted) {
+      std::vector<float> v;
+      v.reserve(n);
+      b.free.push_back(std::move(v));
+      st.exact_bytes += n * sizeof(float);
+    }
+  }
+}
+
+void UnreserveExact(const std::vector<size_t>& sizes) {
+  if (sizes.empty()) return;
+  std::unordered_map<size_t, size_t> drop;
+  for (size_t n : sizes)
+    if (n > 0) ++drop[n];
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (const auto& [n, count] : drop) {
+    auto it = st.exact.find(n);
+    if (it == st.exact.end()) continue;
+    ExactBucket& b = it->second;
+    b.wanted -= count < b.wanted ? count : b.wanted;
+    while (b.free.size() > b.wanted) {
+      st.exact_bytes -= b.free.back().capacity() * sizeof(float);
+      b.free.pop_back();  // dtor frees
+    }
+    if (b.wanted == 0 && b.free.empty()) st.exact.erase(it);
+  }
+}
+
+void BeginAllocRecord() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.recording = true;
+  st.record.clear();
+}
+
+std::vector<size_t> EndAllocRecord() {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.recording = false;
+  return std::move(st.record);
+}
+
 Stats GetStats() {
   State& st = GetState();
   std::lock_guard<std::mutex> lock(st.mutex);
   Stats out = st.stats;
   out.pooled_bytes = st.pooled_bytes;
+  out.exact_bytes = st.exact_bytes;
   return out;
 }
 

@@ -9,9 +9,9 @@
 // the next node of a compatible size.
 //
 // Semantics:
-//  - Opt-in: pooling only happens when STISAN_ARENA=1 (or a test override)
-//    AND at least one arena::Scope is alive. Otherwise Acquire/Release
-//    degrade to plain allocation/deallocation.
+//  - Opt-in: pooling only happens when STISAN_ARENA=1 (or a test override
+//    or a ForcedScope forces it) AND at least one arena::Scope is alive.
+//    Otherwise Acquire/Release degrade to plain allocation/deallocation.
 //  - Scopes bound the recycling region. Trainer::Run and eval::Evaluate each
 //    install one, so buffers released by step t are reused by step t+1 and
 //    the pool drains back to the allocator when the outermost scope exits
@@ -20,16 +20,27 @@
 //    bit-invisible to every computation.
 //  - Thread-safe (a mutex guards the buckets); the pooled byte total is
 //    capped so pathological size churn cannot hoard memory.
+//
+// Exact-size reservations (fed by src/plan): a captured execution plan knows
+// every buffer size a step acquires. ReserveExact() pre-stocks per-size
+// buckets with capacity-exact buffers so replayed steps are served entirely
+// from the pool — zero allocator traffic — where the pow2 buckets alone
+// would still miss on first-touch sizes and on the ceil-bucket rounding.
+// Exact buckets are exempt from the pow2 byte cap (their footprint equals
+// the plan's recorded peak, by construction) and are torn down by
+// UnreserveExact() when the plan is evicted.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace stisan::arena {
 
-/// True when STISAN_ARENA=1 (or a test override forces pooling on).
+/// True when STISAN_ARENA=1 (or a test override / ForcedScope forces
+/// pooling on).
 bool Enabled();
 
 /// True when pooling is actually happening: Enabled() and >= 1 live Scope.
@@ -48,23 +59,71 @@ class Scope {
   Scope& operator=(const Scope&) = delete;
 };
 
+/// A Scope that additionally forces Enabled() true while alive, regardless
+/// of STISAN_ARENA. plan::Scope installs one: replaying a static plan
+/// requires the pool (the exact-size reservations live in it), so the plan
+/// subsystem must not silently degrade when the user forgot STISAN_ARENA=1.
+/// The test override still wins: SetEnabledForTesting(0) disables pooling
+/// even under a ForcedScope.
+class ForcedScope {
+ public:
+  ForcedScope();
+  ~ForcedScope();
+  ForcedScope(const ForcedScope&) = delete;
+  ForcedScope& operator=(const ForcedScope&) = delete;
+};
+
 /// Returns a zero-filled buffer of size n, reusing a pooled allocation with
-/// sufficient capacity when the arena is active.
+/// sufficient capacity when the arena is active. Exact-size buckets (from
+/// ReserveExact) are consulted before the pow2 buckets.
 std::vector<float> AcquireZeroed(size_t n);
 
+/// AcquireZeroed wrapped in a shared_ptr whose deleter Release()s the
+/// payload. Ops use this for saved-for-backward activations (dropout masks,
+/// layernorm row stats, attention probabilities): a plain
+/// make_shared<vector> would free the allocation on graph teardown and
+/// drain the pool one buffer per step.
+std::shared_ptr<std::vector<float>> AcquireSharedZeroed(size_t n);
+
 /// Parks `buffer`'s allocation for reuse (frees it when inactive or the
-/// pool byte cap is reached).
+/// pool byte cap is reached). A buffer whose capacity matches an
+/// under-stocked exact-size reservation is filed there (cap-exempt).
 void Release(std::vector<float>&& buffer);
 
+// ---- Exact-size reservations (plan-fed) ------------------------------------
+
+/// Registers `sizes` (element counts, duplicates = multiplicity) as wanted
+/// exact buckets and stocks them: capacity-exact buffers are first scavenged
+/// from the pow2 buckets, then the shortfall is reserved fresh. Requires an
+/// active arena (no-op otherwise). Callers pass the alloc record of one
+/// captured step; calling again accumulates (two plans may want the same
+/// size).
+void ReserveExact(const std::vector<size_t>& sizes);
+
+/// Reverses one ReserveExact call: decrements the wanted counts and frees
+/// any now-surplus pooled buffers.
+void UnreserveExact(const std::vector<size_t>& sizes);
+
+/// Starts recording every AcquireZeroed size (elements) while the arena is
+/// active. Plan capture brackets each step with this; not reentrant — one
+/// recording at a time per process.
+void BeginAllocRecord();
+
+/// Stops recording and returns the sizes in acquisition order.
+std::vector<size_t> EndAllocRecord();
+
 /// Counters for tests and benchmarks. `hits` counts acquisitions served
-/// from the pool, `misses` fresh allocations while active, `recycled` the
+/// from the pow2 pool, `exact_hits` those served from exact-size
+/// reservations, `misses` fresh allocations while active, `recycled` the
 /// buffers parked for reuse, `dropped` releases rejected by the byte cap.
 struct Stats {
   uint64_t hits = 0;
+  uint64_t exact_hits = 0;
   uint64_t misses = 0;
   uint64_t recycled = 0;
   uint64_t dropped = 0;
   size_t pooled_bytes = 0;
+  size_t exact_bytes = 0;
 };
 Stats GetStats();
 void ResetStats();

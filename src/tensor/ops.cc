@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "plan/plan.h"
 #include "tensor/arena.h"
 #include "tensor/kernels.h"
 
@@ -19,7 +20,8 @@ using internal::TensorImplPtr;
 // Creates a result node wired to its parents. The backward function is only
 // attached when grad recording is on and at least one parent needs grads.
 // The node owns fresh dense storage.
-Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
+Tensor MakeNode(const char* kind, Shape shape,
+                std::vector<TensorImplPtr> parents,
                 std::function<void(TensorImpl&)> backward) {
   auto impl = std::make_shared<TensorImpl>();
   const int64_t n = NumElements(shape);
@@ -33,6 +35,8 @@ Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
       if (p && p->requires_grad) needs = true;
   }
   impl->requires_grad = needs;
+  plan::OnNodeCreated(impl.get(), kind, parents.data(), parents.size(),
+                      /*is_view=*/false);
   if (needs) {
     impl->parents = std::move(parents);
     impl->backward_fn = std::move(backward);
@@ -44,7 +48,7 @@ Tensor MakeNode(Shape shape, std::vector<TensorImplPtr> parents,
 // grad-transparent: their grad region aliases the base's, so they carry a
 // parent edge (to keep the base reachable in the topological sweep) but no
 // backward function.
-Tensor MakeView(const TensorImplPtr& base, Shape shape,
+Tensor MakeView(const char* kind, const TensorImplPtr& base, Shape shape,
                 std::vector<int64_t> strides, int64_t offset) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
@@ -52,6 +56,7 @@ Tensor MakeView(const TensorImplPtr& base, Shape shape,
   impl->offset = offset;
   impl->storage = base->storage;
   impl->requires_grad = base->requires_grad && internal::GradEnabled();
+  plan::OnNodeCreated(impl.get(), kind, &base, 1, /*is_view=*/true);
   if (impl->requires_grad) impl->parents = {base};
   return Tensor(std::move(impl));
 }
@@ -152,8 +157,8 @@ bool IsTrailingVector(const Shape& a, const Shape& b) {
 // Generic elementwise binary op with fwd(a_val, b_val) and backward partials
 // dfa(g, a, b, out) / dfb(g, a, b, out) evaluated per element.
 template <typename Fwd, typename DA, typename DB>
-Tensor BinaryOp(const Tensor& a_in, const Tensor& b_in, Fwd fwd, DA dfa,
-                DB dfb) {
+Tensor BinaryOp(const char* kind, const Tensor& a_in, const Tensor& b_in,
+                Fwd fwd, DA dfa, DB dfb) {
   STISAN_CHECK(a_in.defined() && b_in.defined());
   const Tensor a = Contiguous(a_in);
   const Tensor b = Contiguous(b_in);
@@ -161,7 +166,7 @@ Tensor BinaryOp(const Tensor& a_in, const Tensor& b_in, Fwd fwd, DA dfa,
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor out = MakeNode(
-      out_shape, {ai, bi},
+      kind, out_shape, {ai, bi},
       [ai, bi, dfa, dfb, out_shape](TensorImpl& self) {
         const bool need_a = ai->requires_grad;
         const bool need_b = bi->requires_grad;
@@ -227,11 +232,11 @@ Tensor BinaryOp(const Tensor& a_in, const Tensor& b_in, Fwd fwd, DA dfa,
 
 // Generic elementwise unary op.
 template <typename Fwd, typename Bwd>
-Tensor UnaryOp(const Tensor& a_in, Fwd fwd, Bwd bwd) {
+Tensor UnaryOp(const char* kind, const Tensor& a_in, Fwd fwd, Bwd bwd) {
   STISAN_CHECK(a_in.defined());
   const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
-  Tensor out = MakeNode(a.shape(), {ai}, [ai, bwd](TensorImpl& self) {
+  Tensor out = MakeNode(kind, a.shape(), {ai}, [ai, bwd](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     const float* sg = self.Grad();
@@ -279,7 +284,7 @@ Tensor Contiguous(const Tensor& a) {
   const std::vector<int64_t> strides = ai->strides;
   const int64_t offset = ai->offset;
   Tensor out = MakeNode(
-      shape, {ai}, [ai, shape, strides, offset](TensorImpl& self) {
+      "contiguous", shape, {ai}, [ai, shape, strides, offset](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
         // Scatter-accumulate the dense grad back through the view's strides
@@ -304,28 +309,28 @@ Tensor Contiguous(const Tensor& a) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "add", a, b, [](float x, float y) { return x + y; },
       [](float g, float, float, float) { return g; },
       [](float g, float, float, float) { return g; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "sub", a, b, [](float x, float y) { return x - y; },
       [](float g, float, float, float) { return g; },
       [](float g, float, float, float) { return -g; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "mul", a, b, [](float x, float y) { return x * y; },
       [](float g, float, float y, float) { return g * y; },
       [](float g, float x, float, float) { return g * x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "div", a, b, [](float x, float y) { return x / y; },
       [](float g, float, float y, float) { return g / y; },
       [](float g, float x, float y, float) { return -g * x / (y * y); });
 }
@@ -334,13 +339,13 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x + s; },
+      "add_s", a, [s](float x) { return x + s; },
       [](float g, float, float) { return g; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x * s; },
+      "mul_s", a, [s](float x) { return x * s; },
       [s](float g, float, float) { return g * s; });
 }
 
@@ -350,13 +355,13 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a,
+      "sigmoid", a,
       [](float x) {
         return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
                          : std::exp(x) / (1.0f + std::exp(x));
@@ -366,49 +371,49 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      "tanh", a, [](float x) { return std::tanh(x); },
       [](float g, float, float y) { return g * (1.0f - y * y); });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      "exp", a, [](float x) { return std::exp(x); },
       [](float g, float, float y) { return g * y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      "log", a, [](float x) { return std::log(std::max(x, 1e-12f)); },
       [](float g, float x, float) { return g / std::max(x, 1e-12f); });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
+      "sqrt", a, [](float x) { return std::sqrt(x); },
       [](float g, float, float y) { return 0.5f * g / std::max(y, 1e-12f); });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x * x; },
+      "square", a, [](float x) { return x * x; },
       [](float g, float x, float) { return 2.0f * g * x; });
 }
 
 Tensor Sin(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::sin(x); },
+      "sin", a, [](float x) { return std::sin(x); },
       [](float g, float x, float) { return g * std::cos(x); });
 }
 
 Tensor Cos(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::cos(x); },
+      "cos", a, [](float x) { return std::cos(x); },
       [](float g, float x, float) { return -g * std::sin(x); });
 }
 
 Tensor Softplus(const Tensor& a) {
   return UnaryOp(
-      a,
+      "softplus", a,
       [](float x) {
         // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|})
         return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
@@ -422,7 +427,7 @@ Tensor Softplus(const Tensor& a) {
 
 Tensor Abs(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
+      "abs", a, [](float x) { return std::fabs(x); },
       [](float g, float x, float) {
         return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
       });
@@ -431,7 +436,7 @@ Tensor Abs(const Tensor& a) {
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   STISAN_CHECK_LE(lo, hi);
   return UnaryOp(
-      a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); },
+      "clamp", a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); },
       [lo, hi](float g, float x, float) {
         return (x >= lo && x <= hi) ? g : 0.0f;
       });
@@ -439,7 +444,7 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
 
 Tensor PowScalar(const Tensor& a, float exponent) {
   return UnaryOp(
-      a, [exponent](float x) { return std::pow(x, exponent); },
+      "pow_s", a, [exponent](float x) { return std::pow(x, exponent); },
       [exponent](float g, float x, float) {
         return g * exponent * std::pow(x, exponent - 1.0f);
       });
@@ -447,7 +452,7 @@ Tensor PowScalar(const Tensor& a, float exponent) {
 
 Tensor LogSigmoid(const Tensor& a) {
   return UnaryOp(
-      a,
+      "logsigmoid", a,
       [](float x) {
         // log sigmoid(x) = -softplus(-x)
         return -(std::max(-x, 0.0f) + std::log1p(std::exp(-std::fabs(x))));
@@ -478,7 +483,8 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
     if (!b_in.IsContiguous() && IsTransposed2DView(*b_in.impl())) {
       auto bi = b_in.impl();
       Tensor out =
-          MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
+          MakeNode("matmul_tb", {m, n}, {ai, bi},
+                   [ai, bi, m, k, n](TensorImpl& self) {
             if (ai->requires_grad) {
               ai->EnsureGrad();
               // dA = G x Base, with Base the dense [n,k] block.
@@ -500,7 +506,8 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
     const Tensor b = Contiguous(b_in);
     auto bi = b.impl();
     Tensor out =
-        MakeNode({m, n}, {ai, bi}, [ai, bi, m, k, n](TensorImpl& self) {
+        MakeNode("matmul", {m, n}, {ai, bi},
+                 [ai, bi, m, k, n](TensorImpl& self) {
           if (ai->requires_grad) {
             ai->EnsureGrad();
             kernels::Gemm(self.Grad(), bi->Data(), ai->Grad(), m, n, k, false,
@@ -531,7 +538,8 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
       auto ai = a.impl();
       auto bi = b_in.impl();
       Tensor out = MakeNode(
-          {bsz, m, n}, {ai, bi}, [ai, bi, bsz, m, k, n](TensorImpl& self) {
+          "bmm_tb", {bsz, m, n}, {ai, bi},
+          [ai, bi, bsz, m, k, n](TensorImpl& self) {
             if (ai->requires_grad) {
               ai->EnsureGrad();
               // dA[t] = G[t] x Base[t], Base the dense [n,k] block.
@@ -554,7 +562,8 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
     auto ai = a.impl();
     auto bi = b.impl();
     Tensor out = MakeNode(
-        {bsz, m, n}, {ai, bi}, [ai, bi, bsz, m, k, n](TensorImpl& self) {
+        "bmm", {bsz, m, n}, {ai, bi},
+        [ai, bi, bsz, m, k, n](TensorImpl& self) {
           if (ai->requires_grad) {
             ai->EnsureGrad();
             kernels::BatchedGemm(self.Grad(), bi->Data(), ai->Grad(), bsz, m,
@@ -594,8 +603,8 @@ Tensor TransposeLast2(const Tensor& a) {
   std::vector<int64_t> out_strides = ai->strides;
   std::swap(out_shape[rank - 1], out_shape[rank - 2]);
   std::swap(out_strides[rank - 1], out_strides[rank - 2]);
-  return MakeView(ai, std::move(out_shape), std::move(out_strides),
-                  ai->offset);
+  return MakeView("transpose2", ai, std::move(out_shape),
+                  std::move(out_strides), ai->offset);
 }
 
 // ---- Shape ---------------------------------------------------------------------------
@@ -606,7 +615,8 @@ Tensor Reshape(const Tensor& a_in, Shape new_shape) {
   const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
   std::vector<int64_t> strides = ContiguousStrides(new_shape);
-  return MakeView(ai, std::move(new_shape), std::move(strides), ai->offset);
+  return MakeView("reshape", ai, std::move(new_shape), std::move(strides),
+                  ai->offset);
 }
 
 Tensor Concat(const Tensor& a_in, const Tensor& b_in, int64_t dim) {
@@ -634,7 +644,8 @@ Tensor Concat(const Tensor& a_in, const Tensor& b_in, int64_t dim) {
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor out = MakeNode(
-      out_shape, {ai, bi}, [ai, bi, outer, inner, ma, mb](TensorImpl& self) {
+      "concat", out_shape, {ai, bi},
+      [ai, bi, outer, inner, ma, mb](TensorImpl& self) {
         const int64_t mo = ma + mb;
         if (ai->requires_grad) ai->EnsureGrad();
         if (bi->requires_grad) bi->EnsureGrad();
@@ -676,7 +687,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
   STISAN_CHECK_LT(start, end);
   Shape out_shape = s;
   out_shape[dim] = end - start;
-  return MakeView(ai, std::move(out_shape), ai->strides,
+  return MakeView("slice", ai, std::move(out_shape), ai->strides,
                   ai->offset + start * ai->strides[dim]);
 }
 
@@ -697,7 +708,7 @@ Tensor Stack0(const std::vector<Tensor>& parts_in) {
   const int64_t chunk = parts[0].numel();
   auto parents_copy = parents;
   Tensor out = MakeNode(
-      out_shape, std::move(parents),
+      "stack0", out_shape, std::move(parents),
       [parents_copy, chunk](TensorImpl& self) {
         for (size_t t = 0; t < parents_copy.size(); ++t) {
           auto& p = parents_copy[t];
@@ -725,7 +736,8 @@ Tensor Unfold1D(const Tensor& a_in, int64_t window) {
   const int64_t rows = n - window + 1;
   auto ai = a.impl();
   Tensor out = MakeNode(
-      {rows, window * d}, {ai}, [ai, rows, window, d](TensorImpl& self) {
+      "unfold1d", {rows, window * d}, {ai},
+      [ai, rows, window, d](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
         const float* sg = self.Grad();
@@ -751,7 +763,7 @@ Tensor Sum(const Tensor& a_in) {
   const Tensor a = Contiguous(a_in);
   auto ai = a.impl();
   const int64_t n = a.numel();
-  Tensor out = MakeNode({1}, {ai}, [ai, n](TensorImpl& self) {
+  Tensor out = MakeNode("sum", {1}, {ai}, [ai, n](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     const float g = self.Grad()[0];
@@ -793,8 +805,8 @@ Tensor SumDim(const Tensor& a_in, int64_t dim, bool keepdim) {
   if (out_shape.empty()) out_shape.push_back(1);
 
   auto ai = a.impl();
-  Tensor out =
-      MakeNode(out_shape, {ai}, [ai, outer, inner, mid](TensorImpl& self) {
+  Tensor out = MakeNode(
+      "sum_dim", out_shape, {ai}, [ai, outer, inner, mid](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
         const float* sg = self.Grad();
@@ -840,7 +852,8 @@ Tensor MaxDim(const Tensor& a_in, int64_t dim, bool keepdim) {
       static_cast<size_t>(outer * inner));
   auto ai = a.impl();
   Tensor out = MakeNode(
-      out_shape, {ai}, [ai, outer, inner, mid, argmax](TensorImpl& self) {
+      "max_dim", out_shape, {ai},
+      [ai, outer, inner, mid, argmax](TensorImpl& self) {
         if (!ai->requires_grad) return;
         ai->EnsureGrad();
         const float* sg = self.Grad();
@@ -892,7 +905,8 @@ Tensor Softmax(const Tensor& a_in) {
   const int64_t d = a.shape().back();
   const int64_t rows = a.numel() / d;
   auto ai = a.impl();
-  Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
+  Tensor out = MakeNode(
+      "softmax", a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     kernels::SoftmaxBackwardRows(self.Data(), self.Grad(), ai->Grad(), rows,
@@ -908,7 +922,8 @@ Tensor LogSoftmax(const Tensor& a_in) {
   const int64_t d = a.shape().back();
   const int64_t rows = a.numel() / d;
   auto ai = a.impl();
-  Tensor out = MakeNode(a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
+  Tensor out = MakeNode(
+      "log_softmax", a.shape(), {ai}, [ai, rows, d](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     kernels::LogSoftmaxBackwardRows(self.Data(), self.Grad(), ai->Grad(),
@@ -931,14 +946,15 @@ Tensor LayerNorm(const Tensor& x_in, const Tensor& gamma_in,
   auto xi = x.impl();
   auto gi = gamma.impl();
   auto bi = beta.impl();
-  // Cache per-row mean and inverse stddev for the backward pass.
-  auto mu = std::make_shared<std::vector<float>>(rows);
-  auto inv_sigma = std::make_shared<std::vector<float>>(rows);
+  // Cache per-row mean and inverse stddev for the backward pass (pooled:
+  // they live until graph teardown, every step, at the same sizes).
+  auto mu = arena::AcquireSharedZeroed(static_cast<size_t>(rows));
+  auto inv_sigma = arena::AcquireSharedZeroed(static_cast<size_t>(rows));
 
   // Backward stays serial: gamma/beta grads reduce across rows, and the
   // kernel determinism contract forbids cross-row parallel accumulation.
   Tensor out = MakeNode(
-      x.shape(), {xi, gi, bi},
+      "layer_norm", x.shape(), {xi, gi, bi},
       [xi, gi, bi, mu, inv_sigma, rows, d](TensorImpl& self) {
         const bool need_x = xi->requires_grad;
         const bool need_g = gi->requires_grad;
@@ -997,7 +1013,7 @@ Tensor EmbeddingLookup(const Tensor& weight_in,
   auto ids_copy = std::make_shared<std::vector<int64_t>>(ids);
   // Backward is a scatter (duplicate ids collide) — stays serial.
   Tensor out = MakeNode(
-      {n, d}, {wi}, [wi, ids_copy, d, padding_idx](TensorImpl& self) {
+      "embedding", {n, d}, {wi}, [wi, ids_copy, d, padding_idx](TensorImpl& self) {
         if (!wi->requires_grad) return;
         wi->EnsureGrad();
         const float* sg = self.Grad();
@@ -1023,10 +1039,11 @@ Tensor Dropout(const Tensor& a_in, float p, Rng& rng, bool training) {
   const Tensor a = Contiguous(a_in);
   const float scale = 1.0f / (1.0f - p);
   // Mask generation consumes the RNG stream sequentially — stays serial.
-  auto mask = std::make_shared<std::vector<float>>(a.numel());
+  auto mask = arena::AcquireSharedZeroed(static_cast<size_t>(a.numel()));
   for (auto& m : *mask) m = rng.Bernoulli(p) ? 0.0f : scale;
   auto ai = a.impl();
-  Tensor out = MakeNode(a.shape(), {ai}, [ai, mask](TensorImpl& self) {
+  Tensor out = MakeNode(
+      "dropout", a.shape(), {ai}, [ai, mask](TensorImpl& self) {
     if (!ai->requires_grad) return;
     ai->EnsureGrad();
     const float* sg = self.Grad();
@@ -1113,8 +1130,7 @@ Tensor FusedAttention(const Tensor& q_in, const Tensor& k_in,
     // Same serial full-tensor draw order as ops::Dropout, so the RNG stream
     // (and therefore training) is identical to the composed path.
     const float keep = 1.0f / (1.0f - options.dropout_p);
-    drop_mask = std::make_shared<std::vector<float>>(
-        static_cast<size_t>(batch * m * n));
+    drop_mask = arena::AcquireSharedZeroed(static_cast<size_t>(batch * m * n));
     for (auto& mv : *drop_mask)
       mv = options.rng->Bernoulli(options.dropout_p) ? 0.0f : keep;
   }
@@ -1131,8 +1147,9 @@ Tensor FusedAttention(const Tensor& q_in, const Tensor& k_in,
   // mask above). Inference skips it and streams through row scratch.
   std::shared_ptr<std::vector<float>> probs;
   if (needs_grad) {
-    probs = std::make_shared<std::vector<float>>(
-        arena::AcquireZeroed(static_cast<size_t>(batch * m * n)));
+    // AcquireSharedZeroed (not a make_shared wrapper): the deleter releases
+    // the buffer back to the pool instead of freeing it at graph teardown.
+    probs = arena::AcquireSharedZeroed(static_cast<size_t>(batch * m * n));
   }
 
   const bool causal = options.causal;
@@ -1141,7 +1158,7 @@ Tensor FusedAttention(const Tensor& q_in, const Tensor& k_in,
   std::vector<TensorImplPtr> parents = {qi, ki, vi};
   if (bi != nullptr) parents.push_back(bi);
   Tensor out = MakeNode(
-      std::move(out_shape), std::move(parents),
+      "fused_attention", std::move(out_shape), std::move(parents),
       [qi, ki, vi, bi, probs, drop_mask, batch, m, n, d, causal, scale,
        bias_broadcast](TensorImpl& self) {
         const bool need_q = qi->requires_grad;
@@ -1178,6 +1195,140 @@ Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
   options.causal = causal;
   options.scale = scale;
   return FusedAttention(q, k, v, bias, options);
+}
+
+// ---- Fused elementwise chains ----------------------------------------------
+
+Tensor FusedBiasRelu(const Tensor& x_in, const Tensor& b_in) {
+  STISAN_CHECK(x_in.defined() && b_in.defined());
+  const Tensor x = Contiguous(x_in);
+  const Tensor b = Contiguous(b_in);
+  const int64_t d = x.shape().back();
+  STISAN_CHECK_EQ(b.numel(), d);
+  const int64_t rows = x.numel() / d;
+  auto xi = x.impl();
+  auto bi = b.impl();
+  // Bit-identity with relu(x + b): the forward computes the identical float
+  // expression per element, and the backward mirrors the composed pair —
+  // the relu gate (out > 0 ⟺ pre-activation > 0, NaN gradients pass through
+  // both paths identically) followed by the Add backward's serial row-major
+  // bias reduction.
+  Tensor out = MakeNode(
+      "fused_bias_relu", x.shape(), {xi, bi},
+      [xi, bi, rows, d](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_x) xi->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        const float* sg = self.Grad();
+        const float* sd = self.Data();
+        float* xg = need_x ? xi->Grad() : nullptr;
+        float* bg = need_b ? bi->Grad() : nullptr;
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < d; ++c) {
+            const int64_t i = r * d + c;
+            const float g = sd[i] > 0.0f ? sg[i] : 0.0f;
+            if (xg != nullptr) xg[i] += g;
+            if (bg != nullptr) bg[c] += g;
+          }
+        }
+      });
+  float* od = out.data();
+  const float* xd = x.data();
+  const float* bd = b.data();
+  kernels::ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r)
+      for (int64_t c = 0; c < d; ++c) {
+        const float t = xd[r * d + c] + bd[c];
+        od[r * d + c] = t > 0.0f ? t : 0.0f;
+      }
+  });
+  return out;
+}
+
+Tensor FusedResidualLayerNorm(const Tensor& x_in, const Tensor& r_in,
+                              const Tensor& gamma_in, const Tensor& beta_in,
+                              float eps) {
+  STISAN_CHECK(x_in.defined() && r_in.defined());
+  STISAN_CHECK(gamma_in.defined() && beta_in.defined());
+  const Tensor x = Contiguous(x_in);
+  const Tensor r = Contiguous(r_in);
+  const Tensor gamma = Contiguous(gamma_in);
+  const Tensor beta = Contiguous(beta_in);
+  STISAN_CHECK(x.shape() == r.shape());
+  const int64_t d = x.shape().back();
+  STISAN_CHECK_EQ(gamma.numel(), d);
+  STISAN_CHECK_EQ(beta.numel(), d);
+  const int64_t rows = x.numel() / d;
+  const int64_t numel = x.numel();
+  auto xi = x.impl();
+  auto ri = r.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  // The residual sum is saved for backward in place of a graph node; the
+  // same chunked elementwise add as the composed x + r keeps it bit-equal.
+  auto sum = arena::AcquireSharedZeroed(static_cast<size_t>(numel));
+  auto mu = arena::AcquireSharedZeroed(static_cast<size_t>(rows));
+  auto inv_sigma = arena::AcquireSharedZeroed(static_cast<size_t>(rows));
+
+  // Backward mirrors the composed LayerNorm(x + r) chain exactly: the same
+  // serial per-row LayerNorm backward, with the input gradient v accumulated
+  // into both residual operands (what the Add backward would have done with
+  // the intermediate node's gradient, which is exactly v on a fresh buffer).
+  Tensor out = MakeNode(
+      "fused_residual_ln", x.shape(), {xi, ri, gi, bi},
+      [xi, ri, gi, bi, sum, mu, inv_sigma, rows, d](TensorImpl& self) {
+        const bool need_x = xi->requires_grad;
+        const bool need_r = ri->requires_grad;
+        const bool need_g = gi->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_x) xi->EnsureGrad();
+        if (need_r) ri->EnsureGrad();
+        if (need_g) gi->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        const float* gd = gi->Data();
+        float* ggrad = need_g ? gi->Grad() : nullptr;
+        float* bgrad = need_b ? bi->Grad() : nullptr;
+        const float* sd = sum->data();
+        for (int64_t rr = 0; rr < rows; ++rr) {
+          const float* xr = sd + rr * d;
+          const float* g = self.Grad() + rr * d;
+          const float m = (*mu)[rr];
+          const float is = (*inv_sigma)[rr];
+          float sum_gg = 0.0f;
+          float sum_ggx = 0.0f;
+          for (int64_t j = 0; j < d; ++j) {
+            const float xhat = (xr[j] - m) * is;
+            const float gg = gd[j] * g[j];
+            sum_gg += gg;
+            sum_ggx += gg * xhat;
+            if (need_g) ggrad[j] += g[j] * xhat;
+            if (need_b) bgrad[j] += g[j];
+          }
+          if (need_x || need_r) {
+            float* xg = need_x ? xi->Grad() + rr * d : nullptr;
+            float* rg = need_r ? ri->Grad() + rr * d : nullptr;
+            const float inv_d = 1.0f / static_cast<float>(d);
+            for (int64_t j = 0; j < d; ++j) {
+              const float xhat = (xr[j] - m) * is;
+              const float gg = gd[j] * g[j];
+              const float v =
+                  is * (gg - inv_d * sum_gg - xhat * inv_d * sum_ggx);
+              if (xg != nullptr) xg[j] += v;
+              if (rg != nullptr) rg[j] += v;
+            }
+          }
+        }
+      });
+  const float* xd = x.data();
+  const float* rd = r.data();
+  float* sd = sum->data();
+  kernels::ParallelRanges(numel, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) sd[i] = xd[i] + rd[i];
+  });
+  kernels::LayerNormRows(sd, gamma.data(), beta.data(), out.data(),
+                         mu->data(), inv_sigma->data(), rows, d, eps);
+  return out;
 }
 
 }  // namespace ops

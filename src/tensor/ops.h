@@ -176,6 +176,20 @@ Tensor FusedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
 bool FusedAttentionEnabled();
 void SetFusedAttentionEnabled(int value);
 
+/// Fused relu(x + b) for a trailing bias vector b ([d] against x [..., d]):
+/// one autograd node instead of the Add + Relu pair. Forward values,
+/// gradients, and accumulation order are bit-identical to the composed
+/// chain. Modules lower through this when plan::FusionEnabled().
+Tensor FusedBiasRelu(const Tensor& x, const Tensor& b);
+
+/// Fused LayerNorm(x + r): the residual-add feeding a layer norm collapses
+/// into one autograd node that saves the sum (plus the per-row stats)
+/// instead of materialising an intermediate graph node. Bit-identical to
+/// the composed chain, including the serial backward reduction order.
+Tensor FusedResidualLayerNorm(const Tensor& x, const Tensor& r,
+                              const Tensor& gamma, const Tensor& beta,
+                              float eps);
+
 // ---- Convenience -----------------------------------------------------------------
 
 /// Scalar loss helpers used by training code.

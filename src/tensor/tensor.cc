@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "plan/plan.h"
 #include "tensor/arena.h"
 
 namespace stisan {
@@ -286,6 +287,19 @@ void Tensor::Backward() {
   STISAN_CHECK(impl_ != nullptr);
   STISAN_CHECK_MSG(numel() == 1, "Backward() requires a scalar loss");
 
+  // Static-plan shortcut: when the step so far matches a cached plan whose
+  // recorded backward order is rooted here, skip the topological sort and
+  // replay the recorded closure invocation order (bit-identical — it *is*
+  // the order the sweep below produced during capture).
+  if (plan::CanReplayBackward(impl_.get())) {
+    impl_->EnsureGrad();
+    impl_->storage->grad[static_cast<size_t>(impl_->offset)] = 1.0f;
+    plan::ReplayBackward();
+    return;
+  }
+  const bool record = plan::WantsBackwardRecord();
+  std::vector<internal::TensorImpl*> invoked;
+
   // Iterative post-order topological sort (child after parents), then walk
   // in reverse so each node's grad is complete before it propagates.
   std::vector<internal::TensorImpl*> order;
@@ -315,9 +329,11 @@ void Tensor::Backward() {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::TensorImpl* node = *it;
     if (node->backward_fn && node->storage->has_grad()) {
+      if (record) invoked.push_back(node);
       node->backward_fn(*node);
     }
   }
+  if (record) plan::OnBackwardSwept(impl_.get(), invoked);
 }
 
 Tensor Tensor::Detach() const {

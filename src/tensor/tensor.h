@@ -78,6 +78,13 @@ struct TensorImpl {
   StoragePtr storage;
   bool requires_grad = false;
 
+  // Static-plan slot identity (src/plan): position of this node in the
+  // current plan step's instruction stream, valid only while plan_step
+  // equals the active step sequence number (nodes cached across steps carry
+  // a stale position that must not alias a slot).
+  int32_t plan_pos = -1;
+  uint64_t plan_step = 0;
+
   // Autograd tape: inputs this node was computed from, and a closure that
   // propagates this node's grad into the parents' grads. Pure views leave
   // backward_fn empty: their grad region aliases the parent's, so gradient

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "tensor/arena.h"
 #include "tensor/ops.h"
 #include "train/lr_schedule.h"
@@ -108,6 +109,10 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
   // Tape buffers freed at the end of step k are recycled by step k+1 while
   // this scope is alive (STISAN_ARENA=1); the pool drains when Run returns.
   arena::Scope arena_scope;
+  // Static execution plans: the first window's tape is captured, subsequent
+  // windows replay it (declared after arena_scope so the plan cache tears
+  // down while the pool is still alive).
+  plan::Scope plan_scope;
   const auto& cfg = config_;
   const int64_t bsz = std::max<int64_t>(1, cfg.batch_size);
 
@@ -207,10 +212,20 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
     static obs::Counter& opt_steps = obs::GetCounter("train/opt_steps");
     for (size_t idx : order) {
       if (cfg.max_train_windows > 0 && seen >= cfg.max_train_windows) break;
-      Tensor loss = loss_fn(idx);
+      float loss_value;
+      {
+        // One window = one plan step: the loss graph is built, swept, and
+        // torn down inside the StepScope so its allocation record is
+        // complete when the step finalises.
+        plan::StepScope plan_step;
+        Tensor loss = loss_fn(idx);
+        loss_value = loss.data()[0];
+        if (std::isfinite(loss_value)) {
+          ops::MulScalar(loss, 1.0f / float(bsz)).Backward();
+        }
+      }
       ++seen;
       windows_seen.Inc();
-      const float loss_value = loss.data()[0];
       if (!std::isfinite(loss_value)) {
         ++result.nonfinite_skipped;
         if (cfg.max_consecutive_nonfinite > 0 &&
@@ -224,7 +239,6 @@ TrainResult Trainer::Run(size_t num_windows, const WindowLossFn& loss_fn) {
         continue;  // skip-and-count: the bad window contributes no gradient
       }
       nonfinite_losses = 0;
-      ops::MulScalar(loss, 1.0f / float(bsz)).Backward();
       epoch_loss += loss_value;
       ++finite_seen;
       if (++in_batch == bsz) {

@@ -1,0 +1,512 @@
+// Static-plan parity suite (DESIGN.md §13, label "plan").
+//
+// The plan subsystem promises that capture/replay is *bit-invisible*: the
+// fused elementwise lowerings match their composed chains exactly, a
+// replayed backward produces the same gradients as the eager topo-sorted
+// sweep, the golden pipeline metrics are reproduced digit-for-digit with
+// plans on and off, kill-and-resume stays byte-identical with plans
+// active, a shape change triggers exactly one fresh capture per new
+// shape, and replayed steps are served entirely from the arena's
+// exact-size pool (zero allocator traffic).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "plan/plan.h"
+#include "tensor/arena.h"
+#include "tensor/gradcheck.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tools/golden_pipeline.h"
+#include "train/signal.h"
+#include "util/io_env.h"
+
+namespace stisan {
+namespace {
+
+// Forces the plan gate for a test body and restores the environment gate on
+// exit (plans default on, so "off" is the interesting direction to force).
+class PlanOverride {
+ public:
+  explicit PlanOverride(int value) { plan::SetEnabledForTesting(value); }
+  ~PlanOverride() { plan::SetEnabledForTesting(-1); }
+};
+
+std::vector<float> GradOf(const Tensor& t) {
+  return {t.grad_data(), t.grad_data() + t.numel()};
+}
+
+// ---- Fused elementwise lowerings vs their composed chains ------------------
+
+TEST(PlanFusedOps, FusedBiasReluMatchesComposedBitExact) {
+  kernels::SetNumThreads(1);
+  Rng rng(11);
+  const Tensor x0 = Tensor::Randn({5, 7}, rng);
+  const Tensor b0 = Tensor::Randn({7}, rng);
+  const Tensor up = Tensor::Randn({5, 7}, rng);  // varied upstream grads
+
+  auto run = [&](bool fused) {
+    Tensor x = Tensor::FromVector({5, 7}, x0.ToVector(), true);
+    Tensor b = Tensor::FromVector({7}, b0.ToVector(), true);
+    Tensor out = fused ? ops::FusedBiasRelu(x, b) : ops::Relu(x + b);
+    ops::Sum(out * up).Backward();
+    return std::tuple{out.ToVector(), GradOf(x), GradOf(b)};
+  };
+  const auto [f_out, f_xg, f_bg] = run(true);
+  const auto [c_out, c_xg, c_bg] = run(false);
+  EXPECT_EQ(f_out, c_out);
+  EXPECT_EQ(f_xg, c_xg);
+  EXPECT_EQ(f_bg, c_bg);
+}
+
+TEST(PlanFusedOps, FusedResidualLayerNormMatchesComposedBitExact) {
+  kernels::SetNumThreads(1);
+  Rng rng(12);
+  const Tensor x0 = Tensor::Randn({4, 6}, rng);
+  const Tensor r0 = Tensor::Randn({4, 6}, rng);
+  const Tensor g0 = Tensor::Rand({6}, rng, 0.5f, 1.5f);
+  const Tensor be0 = Tensor::Randn({6}, rng, 0.1f);
+  const Tensor up = Tensor::Randn({4, 6}, rng);
+  constexpr float kEps = 1e-5f;
+
+  auto run = [&](bool fused) {
+    Tensor x = Tensor::FromVector({4, 6}, x0.ToVector(), true);
+    Tensor r = Tensor::FromVector({4, 6}, r0.ToVector(), true);
+    Tensor g = Tensor::FromVector({6}, g0.ToVector(), true);
+    Tensor be = Tensor::FromVector({6}, be0.ToVector(), true);
+    Tensor out = fused ? ops::FusedResidualLayerNorm(x, r, g, be, kEps)
+                       : ops::LayerNorm(x + r, g, be, kEps);
+    ops::Sum(out * up).Backward();
+    return std::tuple{out.ToVector(), GradOf(x), GradOf(r), GradOf(g),
+                      GradOf(be)};
+  };
+  const auto [f_out, f_xg, f_rg, f_gg, f_bg] = run(true);
+  const auto [c_out, c_xg, c_rg, c_gg, c_bg] = run(false);
+  EXPECT_EQ(f_out, c_out);
+  EXPECT_EQ(f_xg, c_xg);
+  EXPECT_EQ(f_rg, c_rg);
+  EXPECT_EQ(f_gg, c_gg);
+  EXPECT_EQ(f_bg, c_bg);
+}
+
+TEST(PlanFusedOps, GradCheckFusedBiasRelu) {
+  kernels::SetNumThreads(1);
+  Rng rng(13);
+  // Preactivations stay clearly on one side of the ReLU kink so the central
+  // differences never straddle it: x in (0.25, 1), bias entries +1 or -3.
+  Tensor x = Tensor::Rand({3, 4}, rng, 0.25f, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({4}, {1.0f, -3.0f, 1.0f, -3.0f},
+                                /*requires_grad=*/true);
+  Status st = CheckGradients(
+      [&] { return ops::Sum(ops::Square(ops::FusedBiasRelu(x, b))); }, {x, b});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(PlanFusedOps, GradCheckFusedResidualLayerNorm) {
+  kernels::SetNumThreads(1);
+  Rng rng(14);
+  Tensor x = Tensor::Randn({3, 5}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor r = Tensor::Randn({3, 5}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor g = Tensor::Rand({5}, rng, 0.5f, 1.5f, /*requires_grad=*/true);
+  Tensor be = Tensor::Randn({5}, rng, 0.1f, /*requires_grad=*/true);
+  Status st = CheckGradients(
+      [&] {
+        return ops::Sum(
+            ops::Square(ops::FusedResidualLayerNorm(x, r, g, be, 1e-5f)));
+      },
+      {x, r, g, be});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// ---- Capture/replay semantics ----------------------------------------------
+
+// A small but structurally varied step: matmul, broadcast add, relu,
+// layernorm, softmax, elementwise mul, square, sum.
+Tensor StepLoss(const Tensor& w, const Tensor& b, const Tensor& g,
+                const Tensor& be, const std::vector<float>& xdata,
+                int64_t rows) {
+  Tensor x = Tensor::FromVector({rows, 4}, xdata);
+  Tensor h = ops::Relu(ops::MatMul(x, w) + b);
+  Tensor n = ops::LayerNorm(h, g, be, 1e-5f);
+  Tensor s = ops::Softmax(n);
+  return ops::Sum(ops::Square(s * h));
+}
+
+std::vector<float> StepInput(int64_t rows, int step) {
+  std::vector<float> x(static_cast<size_t>(rows) * 4);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.05f * static_cast<float>(i + 1) - 0.3f * static_cast<float>(step);
+  }
+  return x;
+}
+
+struct StepParams {
+  Tensor w, b, g, be;
+};
+
+StepParams MakeParams() {
+  Rng rng(21);
+  StepParams p;
+  Tensor w0 = Tensor::Randn({4, 5}, rng, 0.5f);
+  Tensor b0 = Tensor::Randn({5}, rng, 0.5f);
+  Tensor g0 = Tensor::Rand({5}, rng, 0.5f, 1.5f);
+  Tensor be0 = Tensor::Randn({5}, rng, 0.1f);
+  p.w = Tensor::FromVector({4, 5}, w0.ToVector(), true);
+  p.b = Tensor::FromVector({5}, b0.ToVector(), true);
+  p.g = Tensor::FromVector({5}, g0.ToVector(), true);
+  p.be = Tensor::FromVector({5}, be0.ToVector(), true);
+  return p;
+}
+
+struct StepRecord {
+  float loss;
+  std::vector<float> wg, bg, gg, beg;
+};
+
+TEST(PlanReplay, ReplayedStepsAreBitIdenticalToEager) {
+  kernels::SetNumThreads(1);
+  constexpr int kSteps = 4;
+
+  auto run = [&](bool with_plan) {
+    PlanOverride ov(with_plan ? 1 : 0);
+    StepParams p = MakeParams();
+    std::vector<StepRecord> records;
+    plan::Scope scope;  // inert when plans are forced off
+    for (int step = 0; step < kSteps; ++step) {
+      p.w.ZeroGrad();
+      p.b.ZeroGrad();
+      p.g.ZeroGrad();
+      p.be.ZeroGrad();
+      StepRecord rec;
+      {
+        plan::StepScope step_scope;
+        Tensor loss = StepLoss(p.w, p.b, p.g, p.be, StepInput(3, step), 3);
+        rec.loss = loss.data()[0];
+        loss.Backward();
+      }
+      rec.wg = GradOf(p.w);
+      rec.bg = GradOf(p.b);
+      rec.gg = GradOf(p.g);
+      rec.beg = GradOf(p.be);
+      records.push_back(std::move(rec));
+    }
+    if (with_plan) {
+      const plan::Stats stats = plan::GetStats();
+      EXPECT_EQ(stats.steps, 4u);
+      EXPECT_EQ(stats.captures, 1u);
+      EXPECT_EQ(stats.replays, 3u);
+      EXPECT_EQ(stats.recaptures, 0u);
+      EXPECT_EQ(plan::CachedPlanCount(), 1u);
+    }
+    return records;
+  };
+
+  const auto planned = run(true);
+  const auto eager = run(false);
+  ASSERT_EQ(planned.size(), eager.size());
+  for (int step = 0; step < kSteps; ++step) {
+    EXPECT_EQ(planned[step].loss, eager[step].loss) << "step " << step;
+    EXPECT_EQ(planned[step].wg, eager[step].wg) << "step " << step;
+    EXPECT_EQ(planned[step].bg, eager[step].bg) << "step " << step;
+    EXPECT_EQ(planned[step].gg, eager[step].gg) << "step " << step;
+    EXPECT_EQ(planned[step].beg, eager[step].beg) << "step " << step;
+  }
+}
+
+TEST(PlanReplay, GradCheckOnReplayedBackward) {
+  kernels::SetNumThreads(1);
+  PlanOverride ov(1);
+  StepParams p = MakeParams();
+  const std::vector<float> xdata = StepInput(3, 0);
+
+  plan::Scope scope;
+  // Step 1 captures the tape and the eager backward order.
+  {
+    plan::StepScope step;
+    StepLoss(p.w, p.b, p.g, p.be, xdata, 3).Backward();
+  }
+  // Step 2 replays the backward; its gradients are the analytic ones.
+  p.w.ZeroGrad();
+  p.b.ZeroGrad();
+  p.g.ZeroGrad();
+  p.be.ZeroGrad();
+  {
+    plan::StepScope step;
+    StepLoss(p.w, p.b, p.g, p.be, xdata, 3).Backward();
+  }
+  ASSERT_EQ(plan::GetStats().replays, 1u);
+  const std::vector<float> analytic = GradOf(p.w);
+
+  // Central differences over forward-only replayed steps.
+  constexpr float kEps = 1e-3f;
+  float* wd = p.w.data();
+  for (int64_t i = 0; i < p.w.numel(); ++i) {
+    const float saved = wd[i];
+    float plus, minus;
+    wd[i] = saved + kEps;
+    {
+      plan::StepScope step;
+      plus = StepLoss(p.w, p.b, p.g, p.be, xdata, 3).data()[0];
+    }
+    wd[i] = saved - kEps;
+    {
+      plan::StepScope step;
+      minus = StepLoss(p.w, p.b, p.g, p.be, xdata, 3).data()[0];
+    }
+    wd[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * kEps);
+    EXPECT_NEAR(analytic[static_cast<size_t>(i)], numeric,
+                5e-3f + 5e-2f * std::abs(numeric))
+        << "w elem " << i;
+  }
+}
+
+TEST(PlanReplay, ShapeChangeRecapturesExactlyOncePerShape) {
+  kernels::SetNumThreads(1);
+  PlanOverride ov(1);
+  StepParams p = MakeParams();
+
+  plan::Scope scope;
+  auto run_step = [&](int64_t rows, int step) {
+    p.w.ZeroGrad();
+    p.b.ZeroGrad();
+    p.g.ZeroGrad();
+    p.be.ZeroGrad();
+    plan::StepScope step_scope;
+    StepLoss(p.w, p.b, p.g, p.be, StepInput(rows, step), rows).Backward();
+  };
+
+  run_step(3, 0);  // capture shape A
+  run_step(3, 1);  // replay A
+  run_step(6, 2);  // new sequence length: one fresh capture for shape B
+  run_step(6, 3);  // replay B
+  run_step(3, 4);  // back to A: still replays, no recapture
+  run_step(6, 5);  // back to B: still replays
+
+  const plan::Stats stats = plan::GetStats();
+  EXPECT_EQ(stats.steps, 6u);
+  EXPECT_EQ(stats.captures, 2u);  // exactly one per distinct shape
+  EXPECT_EQ(stats.replays, 4u);
+  EXPECT_EQ(stats.recaptures, 0u);
+  EXPECT_EQ(plan::CachedPlanCount(), 2u);
+}
+
+TEST(PlanReplay, ReplayedStepsAreServedFromExactPoolOnly) {
+  kernels::SetNumThreads(1);
+  PlanOverride ov(1);
+  StepParams p = MakeParams();
+
+  plan::Scope scope;
+  auto run_step = [&](int step) {
+    p.w.ZeroGrad();
+    p.b.ZeroGrad();
+    p.g.ZeroGrad();
+    p.be.ZeroGrad();
+    plan::StepScope step_scope;
+    StepLoss(p.w, p.b, p.g, p.be, StepInput(3, step), 3).Backward();
+  };
+
+  run_step(0);  // capture: records every acquisition, reserves exact buckets
+  run_step(1);  // first replay warms any remaining pool state
+  const arena::Stats before = arena::GetStats();
+  run_step(2);
+  const arena::Stats after = arena::GetStats();
+  // A replayed step performs zero fresh allocations: every buffer comes out
+  // of the exact-size reservations the plan stocked.
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(after.exact_hits, before.exact_hits);
+  EXPECT_EQ(plan::GetStats().replays, 2u);
+}
+
+// ---- Golden pipeline parity ------------------------------------------------
+
+std::map<std::string, double> LoadGolden() {
+  std::ifstream in(STISAN_GOLDEN_JSON);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << STISAN_GOLDEN_JSON;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return golden::ParseFlatJson(ss.str());
+}
+
+void ExpectMatchesGolden(const std::map<std::string, double>& computed,
+                         const std::map<std::string, double>& golden) {
+  ASSERT_FALSE(golden.empty());
+  ASSERT_EQ(computed.size(), golden.size());
+  for (const auto& [name, value] : golden) {
+    ASSERT_TRUE(computed.contains(name)) << name;
+    EXPECT_EQ(computed.at(name), value) << name;
+  }
+}
+
+TEST(PlanGolden, GoldenMetricsIdenticalWithPlansOnAndOff) {
+  const auto golden = LoadGolden();
+  {
+    PlanOverride off(0);
+    ExpectMatchesGolden(golden::ComputeGoldenMetrics(), golden);
+  }
+  {
+    PlanOverride on(1);
+    ExpectMatchesGolden(golden::ComputeGoldenMetrics(), golden);
+  }
+}
+
+// ---- Full pipeline byte-identity -------------------------------------------
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/stisan_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir ? std::string(dir) : std::string();
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& name : *names) env->DeleteFile(dir + "/" + name);
+  }
+  rmdir(dir.c_str());
+}
+
+struct PipelineOutcome {
+  std::vector<float> params;
+  std::map<std::string, double> metrics;
+  train::TrainResult train_result;
+};
+
+// The golden pipeline configuration with optional checkpointing, as in
+// resume_determinism_test.
+PipelineOutcome RunPipeline(const std::string& ckpt_dir, bool resume,
+                            bool interrupt) {
+  auto dataset = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+  auto split = data::TrainTestSplit(dataset, {.max_seq_len = 12});
+
+  core::StisanOptions options;
+  options.poi_dim = 8;
+  options.geo.dim = 8;
+  options.geo.fourier_dim = 4;
+  options.num_blocks = 1;
+  options.train.epochs = 2;
+  options.train.seed = 20220501;
+  options.train.max_train_windows = 60;
+  options.train.checkpoint.dir = ckpt_dir;
+  options.train.checkpoint.resume = resume;
+  if (interrupt) {
+    options.train.on_epoch = [](const train::EpochStats& stats) {
+      if (stats.epoch == 0) train::RequestStop();
+      return true;
+    };
+  }
+  core::StisanModel model(dataset, options);
+  model.Fit(dataset, split.train);
+
+  PipelineOutcome out;
+  out.train_result = model.last_train_result();
+  for (const Tensor& p : model.Parameters()) {
+    const auto v = p.ToVector();
+    out.params.insert(out.params.end(), v.begin(), v.end());
+  }
+  if (!out.train_result.interrupted) {
+    eval::CandidateGenerator generator(dataset);
+    eval::EvalOptions eval_options;
+    eval_options.num_negatives = 50;
+    eval_options.batch_size = 8;
+    auto acc = eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                              split.test, generator, eval_options);
+    out.metrics = acc.Means();
+    out.metrics["MRR"] = acc.MeanReciprocalRank();
+  }
+  return out;
+}
+
+void ExpectOutcomesBitIdentical(const PipelineOutcome& a,
+                                const PipelineOutcome& b) {
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    ASSERT_EQ(a.params[i], b.params[i]) << "param elem " << i;
+  }
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [name, value] : a.metrics) {
+    ASSERT_TRUE(b.metrics.contains(name)) << name;
+    EXPECT_EQ(value, b.metrics.at(name)) << name;
+  }
+}
+
+class PlanPipelineTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { train::ClearStopRequest(); }
+  void TearDown() override {
+    train::ClearStopRequest();
+    kernels::SetNumThreads(1);
+  }
+};
+
+TEST_P(PlanPipelineTest, TrainedParamsAndMetricsMatchEagerBitExact) {
+  kernels::SetNumThreads(GetParam());
+
+  PipelineOutcome eager;
+  {
+    PlanOverride off(0);
+    eager = RunPipeline("", false, false);
+  }
+  ASSERT_TRUE(eager.train_result.status.ok())
+      << eager.train_result.status.ToString();
+  ASSERT_FALSE(eager.metrics.empty());
+
+  PipelineOutcome planned;
+  {
+    PlanOverride on(1);
+    planned = RunPipeline("", false, false);
+  }
+  ASSERT_TRUE(planned.train_result.status.ok())
+      << planned.train_result.status.ToString();
+
+  ExpectOutcomesBitIdentical(eager, planned);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PlanPipelineTest,
+                         ::testing::Values(1, 4));
+
+TEST(PlanPipeline, KillAndResumeIsBitIdenticalWithPlansActive) {
+  kernels::SetNumThreads(1);
+  train::ClearStopRequest();
+  PlanOverride on(1);
+
+  PipelineOutcome reference = RunPipeline("", false, false);
+  ASSERT_TRUE(reference.train_result.status.ok())
+      << reference.train_result.status.ToString();
+  ASSERT_EQ(reference.train_result.epochs_completed, 2);
+
+  const std::string dir = MakeTempDir("plan_resume");
+  PipelineOutcome killed = RunPipeline(dir, false, true);
+  ASSERT_TRUE(killed.train_result.status.ok())
+      << killed.train_result.status.ToString();
+  ASSERT_TRUE(killed.train_result.interrupted);
+
+  train::ClearStopRequest();
+  PipelineOutcome resumed = RunPipeline(dir, true, false);
+  ASSERT_TRUE(resumed.train_result.status.ok())
+      << resumed.train_result.status.ToString();
+  ASSERT_TRUE(resumed.train_result.resumed);
+  ASSERT_EQ(resumed.train_result.epochs_completed, 2);
+
+  ExpectOutcomesBitIdentical(reference, resumed);
+  RemoveDirRecursive(dir);
+}
+
+}  // namespace
+}  // namespace stisan

@@ -6,7 +6,8 @@
 #
 # Uses the asan/ubsan presets from CMakePresets.json (build trees
 # build-asan/ and build-ubsan/); the matching test presets run the
-# "unit", "robustness", "fused" and "obs" labels, skipping the end-to-end
+# "unit", "robustness", "fused", "obs" and "plan" labels, skipping the
+# end-to-end
 # CLI/tool smoke tests whose sanitized runtimes are excessive on one core.
 #
 # After the unit pass, the "robustness" suite (fault-injection sweeps,
@@ -45,4 +46,12 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    ctest -L obs --output-on-failure)
+  echo "==== ${preset}: ctest (static-plan gate) ===="
+  # Replayed steps reuse exact-size pooled buffers and skip the backward
+  # topo sort; the plan label re-runs the parity suite with plans and the
+  # arena forced on so the sanitizers sweep the capture/replay machinery.
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   STISAN_STATIC_PLAN=1 STISAN_ARENA=1 ctest -L plan --output-on-failure)
 done
