@@ -277,6 +277,14 @@ std::vector<std::vector<float>> StisanModel::ScoreBatch(
   STISAN_CHECK_EQ(candidates.size(), instances.size());
   if (bsz == 0) return {};
   const int64_t n = static_cast<int64_t>(instances[0]->poi.size());
+  // Mixed-length batches (length-1 deltas from the serving fallback path,
+  // ragged ad-hoc callers) cannot share one padded forward; degrade to
+  // per-instance scoring instead of CHECK-failing inside EncodeBatch.
+  for (const auto* inst : instances) {
+    if (static_cast<int64_t>(inst->poi.size()) != n) {
+      return SequentialRecommender::ScoreBatch(instances, candidates);
+    }
+  }
 
   Tensor f = EncodeBatch(instances, rng_);  // [B, n, d]
 

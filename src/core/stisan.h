@@ -29,6 +29,8 @@
 
 namespace stisan::core {
 
+class IncrementalScorer;
+
 struct StisanOptions {
   /// POI embedding dimension (paper: 128).
   int64_t poi_dim = 24;
@@ -99,6 +101,13 @@ class StisanModel : public models::SequentialRecommender, public nn::Module {
                              int64_t first_real);
 
  private:
+  // The incremental serving engine replays this model's eval-mode forward
+  // one row at a time against cached K/V state; it reuses the private
+  // Embed/Preferences stages and the frozen sub-modules directly so the
+  // two paths cannot drift apart (bit-identity is pinned by the serve
+  // test label).
+  friend class IncrementalScorer;
+
   /// Embeds a POI id sequence: POI embedding ⧺ geography encoding.
   Tensor Embed(const std::vector<int64_t>& pois) const;
 

@@ -54,6 +54,16 @@ class CausalSelfAttention : public Module {
   Tensor AttentionMap(const Tensor& x, const Tensor& bias) const;
 
   int64_t dim() const { return dim_; }
+  int64_t num_heads() const { return num_heads_; }
+  bool causal() const { return causal_; }
+
+  // Projection accessors for incremental (row-at-a-time) inference: the
+  // serving engine applies wq/wk/wv to a single new row and replays the
+  // same fused-attention arithmetic against cached K/V rows (src/core/
+  // incremental.{h,cc}). Read-only use.
+  const Linear& wq() const { return wq_; }
+  const Linear& wk() const { return wk_; }
+  const Linear& wv() const { return wv_; }
 
  private:
   /// Softmax(Q K^T / sqrt(dk) + masks) V for one head's [n, dk] slices.

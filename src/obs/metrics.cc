@@ -71,6 +71,12 @@ std::vector<double> LatencyBounds() {
   return {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
 }
 
+std::vector<double> CountBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
 Counter& GetCounter(const std::string& name) {
   RegistryState& st = State();
   std::lock_guard<std::mutex> lock(st.mutex);

@@ -90,6 +90,10 @@ class Histogram {
 /// timer histograms.
 std::vector<double> LatencyBounds();
 
+/// Power-of-two count bounds (1, 2, 4, ... 4096) for small-integer
+/// distributions: queue depths, batch sizes, resident-session counts.
+std::vector<double> CountBounds();
+
 // ---- Registry --------------------------------------------------------------
 // Named lookup creates on first use and returns a reference that stays valid
 // for the process lifetime (metrics are never unregistered). Re-requesting a

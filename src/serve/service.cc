@@ -1,0 +1,298 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/stisan.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace stisan::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& appends = obs::GetCounter("serve/appends");
+  obs::Counter& requests = obs::GetCounter("serve/requests");
+  obs::Counter& incremental = obs::GetCounter("serve/incremental_scored");
+  obs::Counter& fallback = obs::GetCounter("serve/fallback_scored");
+  obs::Counter& cold_starts = obs::GetCounter("serve/cold_starts");
+  obs::Counter& cold_builds = obs::GetCounter("serve/cold_builds");
+  obs::Counter& rebuilds = obs::GetCounter("serve/cache_rebuilds");
+  obs::Counter& evictions = obs::GetCounter("serve/evictions");
+  obs::Counter& overflows = obs::GetCounter("serve/overflows");
+  obs::Gauge& resident = obs::GetGauge("serve/resident_sessions");
+  obs::Histogram& latency = obs::GetHistogram("time/serve/request");
+  obs::Histogram& queue_depth =
+      obs::GetHistogram("serve/queue_depth", obs::CountBounds());
+  obs::Histogram& batch_size =
+      obs::GetHistogram("serve/batch_size", obs::CountBounds());
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* m = new ServeMetrics();
+  return *m;
+}
+
+}  // namespace
+
+RecommendService::RecommendService(models::SequentialRecommender* model,
+                                   const ServeOptions& options)
+    : model_(model), options_(options), store_(options.max_sessions) {
+  STISAN_CHECK(model != nullptr);
+  STISAN_CHECK_GE(options_.max_seq_len, 1);
+  STISAN_CHECK_GE(options_.max_batch, 1);
+  if (auto* stisan = dynamic_cast<core::StisanModel*>(model)) {
+    engine_ = std::make_unique<core::IncrementalScorer>(stisan,
+                                                        options_.max_seq_len);
+  }
+  if (options_.start_worker) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+RecommendService::~RecommendService() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    worker_.join();
+  }
+}
+
+void RecommendService::Enqueue(Op op) {
+  op.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(op));
+    ++enqueued_ops_;
+    Metrics().queue_depth.Observe(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+}
+
+void RecommendService::Append(int64_t user, int64_t poi, double timestamp) {
+  STISAN_CHECK_NE(poi, data::kPaddingPoi);
+  Op op;
+  op.kind = OpKind::kAppend;
+  op.user = user;
+  op.poi = poi;
+  op.timestamp = timestamp;
+  Enqueue(std::move(op));
+}
+
+std::future<ScoreResult> RecommendService::ScoreAsync(
+    int64_t user, std::vector<int64_t> candidates) {
+  Op op;
+  op.kind = OpKind::kScore;
+  op.user = user;
+  op.candidates = std::move(candidates);
+  std::future<ScoreResult> fut = op.promise.get_future();
+  Enqueue(std::move(op));
+  return fut;
+}
+
+ScoreResult RecommendService::Score(int64_t user,
+                                    std::vector<int64_t> candidates) {
+  std::future<ScoreResult> fut = ScoreAsync(user, std::move(candidates));
+  if (!worker_.joinable()) Pump();
+  return fut.get();
+}
+
+void RecommendService::EvictSession(int64_t user) {
+  Op op;
+  op.kind = OpKind::kEvict;
+  op.user = user;
+  Enqueue(std::move(op));
+}
+
+size_t RecommendService::Pump() {
+  STISAN_CHECK_MSG(!worker_.joinable(),
+                   "Pump() is only valid with start_worker = false");
+  std::vector<Op> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.assign(std::make_move_iterator(queue_.begin()),
+                 std::make_move_iterator(queue_.end()));
+    queue_.clear();
+  }
+  const size_t n = batch.size();
+  if (n > 0) Process(std::move(batch));
+  return n;
+}
+
+void RecommendService::Drain() {
+  if (!worker_.joinable()) {
+    Pump();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return processed_ops_ == enqueued_ops_; });
+}
+
+void RecommendService::WorkerLoop() {
+  for (;;) {
+    std::vector<Op> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty() && stop_) return;
+      if (options_.batch_window_us > 0) {
+        // Coalescing window: let concurrent requests pile up so fallback
+        // scores share one padded forward. Cut short once a full batch is
+        // waiting or shutdown begins.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.batch_window_us);
+        while (!stop_ &&
+               static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+               work_cv_.wait_until(lock, deadline) !=
+                   std::cv_status::timeout) {
+        }
+      }
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+    if (!batch.empty()) Process(std::move(batch));
+  }
+}
+
+void RecommendService::Fulfil(Op& op, std::vector<float> scores) {
+  const double latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    op.enqueued)
+          .count();
+  Metrics().latency.Observe(latency);
+  op.promise.set_value({std::move(scores), latency});
+}
+
+void RecommendService::FlushFallback(std::vector<Op>* pending) {
+  if (pending->empty()) return;
+  ServeMetrics& m = Metrics();
+  // Group by sequence length (the padded batch path shares one length per
+  // forward), preserving arrival order within and across groups.
+  std::vector<int64_t> lengths;
+  for (const Op& op : *pending) {
+    const int64_t n = static_cast<int64_t>(op.instance.poi.size());
+    if (std::find(lengths.begin(), lengths.end(), n) == lengths.end()) {
+      lengths.push_back(n);
+    }
+  }
+  for (int64_t n : lengths) {
+    std::vector<Op*> group;
+    for (Op& op : *pending) {
+      if (static_cast<int64_t>(op.instance.poi.size()) == n) {
+        group.push_back(&op);
+      }
+    }
+    for (size_t start = 0; start < group.size();
+         start += static_cast<size_t>(options_.max_batch)) {
+      const size_t end = std::min(
+          group.size(), start + static_cast<size_t>(options_.max_batch));
+      std::vector<const data::EvalInstance*> instances;
+      std::vector<std::vector<int64_t>> candidates;
+      for (size_t i = start; i < end; ++i) {
+        instances.push_back(&group[i]->instance);
+        candidates.push_back(group[i]->candidates);
+      }
+      m.batch_size.Observe(static_cast<double>(instances.size()));
+      auto scores = model_->ScoreBatch(instances, candidates);
+      STISAN_CHECK_EQ(scores.size(), instances.size());
+      for (size_t i = start; i < end; ++i) {
+        m.fallback.Inc();
+        Fulfil(*group[i], std::move(scores[i - start]));
+      }
+    }
+  }
+  pending->clear();
+}
+
+void RecommendService::ServeScore(Op op, std::vector<Op>* pending) {
+  ServeMetrics& m = Metrics();
+  m.requests.Inc();
+  Session& s = store_.GetOrCreate(op.user);
+  const int64_t len = static_cast<int64_t>(s.pois.size());
+  if (len == 0) {
+    // Cold start: nothing to condition on; scores are all zero.
+    m.cold_starts.Inc();
+    Fulfil(op, std::vector<float>(op.candidates.size(), 0.0f));
+    return;
+  }
+  if (engine_ != nullptr && len <= options_.max_seq_len) {
+    const int64_t evictions_before = store_.evictions();
+    store_.MarkResident(s, s.state ? nullptr : engine_->NewState());
+    m.evictions.Inc(
+        static_cast<uint64_t>(store_.evictions() - evictions_before));
+    if (s.state->cached_len == 0 && len > 1) m.cold_builds.Inc();
+    const int64_t rebuilds = engine_->Sync(*s.state, s.pois, s.timestamps);
+    m.rebuilds.Inc(static_cast<uint64_t>(rebuilds));
+    std::vector<float> scores =
+        engine_->Score(*s.state, s.pois, s.timestamps, op.candidates);
+    m.incremental.Inc();
+    Fulfil(op, std::move(scores));
+    return;
+  }
+  // Fallback: trailing window through the padded batch path.
+  const int64_t n = std::min<int64_t>(len, options_.max_seq_len);
+  op.instance.user = op.user;
+  op.instance.poi.assign(s.pois.end() - n, s.pois.end());
+  op.instance.t.assign(s.timestamps.end() - n, s.timestamps.end());
+  op.instance.first_real = 0;
+  pending->push_back(std::move(op));
+  if (static_cast<int64_t>(pending->size()) >= options_.max_batch) {
+    FlushFallback(pending);
+  }
+}
+
+void RecommendService::Process(std::vector<Op> ops) {
+  ServeMetrics& m = Metrics();
+  std::vector<Op> pending;
+  auto pending_user = [&pending](int64_t user) {
+    for (const Op& op : pending) {
+      if (op.user == user) return true;
+    }
+    return false;
+  };
+  const size_t count = ops.size();
+  for (Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kAppend: {
+        // Per-user FIFO: a queued fallback score must observe the history
+        // as of its own arrival, so flush before mutating it.
+        if (pending_user(op.user)) FlushFallback(&pending);
+        store_.Append(op.user, op.poi, op.timestamp);
+        m.appends.Inc();
+        Session& s = store_.GetOrCreate(op.user);
+        if (engine_ != nullptr && s.resident &&
+            static_cast<int64_t>(s.pois.size()) > options_.max_seq_len) {
+          // Past the serving window the cached rows no longer mirror the
+          // (windowed) full forward; release them.
+          store_.Evict(op.user);
+          m.overflows.Inc();
+        }
+        break;
+      }
+      case OpKind::kEvict: {
+        if (pending_user(op.user)) FlushFallback(&pending);
+        store_.Evict(op.user);
+        break;
+      }
+      case OpKind::kScore: {
+        ServeScore(std::move(op), &pending);
+        break;
+      }
+    }
+  }
+  FlushFallback(&pending);
+  m.resident.Set(static_cast<double>(store_.resident_count()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    processed_ops_ += count;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace stisan::serve

@@ -1,0 +1,147 @@
+// Long-lived recommendation service over a preloaded frozen model.
+//
+// Library only — no network. Callers enqueue per-user operations:
+//
+//   Append(user, poi, t)  — record a check-in
+//   ScoreAsync(user, C)   — score candidate POIs against the user's history
+//
+// A single worker drains the queue (optionally waiting a coalescing window
+// so concurrent requests batch), applies appends in arrival order, serves
+// incremental-capable requests straight from the user's cached state
+// (core::IncrementalScorer — O(new-token) per append), and coalesces the
+// rest (non-STiSAN models, histories past the serving window) into the
+// model's eval::BatchScorer padded-[B, n, d] path, grouped by sequence
+// length. Per-user FIFO ordering is preserved: a queued fallback score
+// flushes before a later op for the same user is applied.
+//
+// Determinism contract (pinned by tests/serve_test.cpp): per-user scores
+// are bit-identical to a cold model->Score on the same history, whatever
+// the arrival interleaving, coalescing window, batch cap, thread count, or
+// eviction pattern. The serve/* obs counters depend only on the op order,
+// not on how ops were batched.
+//
+// Observability (src/obs): counters serve/appends, serve/requests,
+// serve/incremental_scored, serve/fallback_scored, serve/cold_starts,
+// serve/cache_rebuilds, serve/cold_builds, serve/evictions,
+// serve/overflows; histograms time/serve/request (enqueue -> fulfil),
+// serve/queue_depth, serve/batch_size; gauge serve/resident_sessions.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/types.h"
+#include "models/recommender.h"
+#include "serve/session_store.h"
+
+namespace stisan::serve {
+
+struct ServeOptions {
+  /// Cap on resident per-user cache states (LRU-evicted; histories are
+  /// always kept).
+  int64_t max_sessions = 4096;
+  /// Serving window: histories longer than this are scored on their
+  /// trailing window through the full batched path.
+  int64_t max_seq_len = 100;
+  /// Coalescing window in microseconds: after picking up work the worker
+  /// keeps draining arrivals this long (or until max_batch ops are
+  /// queued) before processing. 0 = process immediately.
+  int64_t batch_window_us = 0;
+  /// Cap on instances per fallback ScoreBatch call.
+  int64_t max_batch = 32;
+  /// false = no worker thread; the caller drives processing with Pump()
+  /// (deterministic in-thread mode for tests and benchmarks).
+  bool start_worker = true;
+};
+
+struct ScoreResult {
+  std::vector<float> scores;
+  /// Enqueue -> fulfil latency as observed by the service, seconds.
+  double latency_s = 0.0;
+};
+
+class RecommendService {
+ public:
+  /// The model must outlive the service and stay frozen while serving.
+  /// STiSAN models get the incremental engine; any other
+  /// SequentialRecommender serves through the batched fallback only.
+  RecommendService(models::SequentialRecommender* model,
+                   const ServeOptions& options);
+  ~RecommendService();
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  /// Records a check-in. Returns after enqueuing (the append is applied in
+  /// arrival order before any later op).
+  void Append(int64_t user, int64_t poi, double timestamp);
+
+  /// Scores `candidates` against the user's current history. Users with no
+  /// history resolve to all-zero scores (cold start). The future is
+  /// fulfilled by the worker (or by the next Pump()).
+  std::future<ScoreResult> ScoreAsync(int64_t user,
+                                      std::vector<int64_t> candidates);
+
+  /// Synchronous convenience: enqueue, (pump when no worker), wait.
+  ScoreResult Score(int64_t user, std::vector<int64_t> candidates);
+
+  /// Drops the user's cached state (history kept) — applied in queue
+  /// order. Tests use this to force mid-sequence evictions.
+  void EvictSession(int64_t user);
+
+  /// Processes everything currently queued on the calling thread; only
+  /// valid with start_worker = false. Returns the number of ops processed.
+  size_t Pump();
+
+  /// Blocks until every op enqueued so far has been processed.
+  void Drain();
+
+  const ServeOptions& options() const { return options_; }
+  /// True when the model supports the incremental path.
+  bool incremental() const { return engine_ != nullptr; }
+
+ private:
+  enum class OpKind { kAppend, kScore, kEvict };
+  struct Op {
+    OpKind kind = OpKind::kAppend;
+    int64_t user = 0;
+    int64_t poi = 0;
+    double timestamp = 0.0;
+    std::vector<int64_t> candidates;
+    std::promise<ScoreResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    // Fallback scores carry their windowed instance while pending.
+    data::EvalInstance instance;
+  };
+
+  void Enqueue(Op op);
+  void WorkerLoop();
+  void Process(std::vector<Op> ops);
+  void ServeScore(Op op, std::vector<Op>* pending);
+  void FlushFallback(std::vector<Op>* pending);
+  void Fulfil(Op& op, std::vector<float> scores);
+
+  models::SequentialRecommender* model_;
+  ServeOptions options_;
+  std::unique_ptr<core::IncrementalScorer> engine_;
+  SessionStore store_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Op> queue_;
+  uint64_t enqueued_ops_ = 0;
+  uint64_t processed_ops_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace stisan::serve

@@ -1,0 +1,69 @@
+#include "serve/session_store.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace stisan::serve {
+
+SessionStore::SessionStore(int64_t max_resident)
+    : max_resident_(max_resident) {
+  STISAN_CHECK_GE(max_resident_, 1);
+}
+
+Session& SessionStore::GetOrCreate(int64_t user) {
+  auto [it, inserted] = sessions_.try_emplace(user);
+  if (inserted) it->second.user = user;
+  return it->second;
+}
+
+Session* SessionStore::Find(int64_t user) {
+  auto it = sessions_.find(user);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const Session* SessionStore::Find(int64_t user) const {
+  auto it = sessions_.find(user);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void SessionStore::Append(int64_t user, int64_t poi, double timestamp) {
+  Session& s = GetOrCreate(user);
+  s.pois.push_back(poi);
+  s.timestamps.push_back(timestamp);
+}
+
+void SessionStore::DropState(Session& session) {
+  if (!session.resident) return;
+  lru_.erase(session.lru_it);
+  session.resident = false;
+  session.state.reset();
+}
+
+void SessionStore::MarkResident(Session& session,
+                                std::unique_ptr<core::IncrementalState> state) {
+  if (session.resident) {
+    // Refresh recency.
+    lru_.erase(session.lru_it);
+  } else {
+    if (!session.state) {
+      STISAN_CHECK(state != nullptr);
+      session.state = std::move(state);
+    }
+    session.resident = true;
+  }
+  lru_.push_front(session.user);
+  session.lru_it = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > max_resident_) {
+    Session* victim = Find(lru_.back());
+    STISAN_CHECK(victim != nullptr);
+    DropState(*victim);
+    ++evictions_;
+  }
+}
+
+void SessionStore::Evict(int64_t user) {
+  if (Session* s = Find(user)) DropState(*s);
+}
+
+}  // namespace stisan::serve

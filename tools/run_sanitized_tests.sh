@@ -6,9 +6,9 @@
 #
 # Uses the asan/ubsan presets from CMakePresets.json (build trees
 # build-asan/ and build-ubsan/); the matching test presets run the
-# "unit", "robustness", "fused", "obs" and "plan" labels, skipping the
-# end-to-end
-# CLI/tool smoke tests whose sanitized runtimes are excessive on one core.
+# "unit", "robustness", "fused", "obs", "plan" and "serve" labels,
+# skipping the end-to-end CLI/tool smoke tests whose sanitized runtimes
+# are excessive on one core.
 #
 # After the unit pass, the "robustness" suite (fault-injection sweeps,
 # checkpoint fuzzing, kill/resume determinism) and the "fused" suite
@@ -54,4 +54,14 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    STISAN_STATIC_PLAN=1 STISAN_ARENA=1 ctest -L plan --output-on-failure)
+  echo "==== ${preset}: ctest (serving gate) ===="
+  # The serving runtime rewrites attention rows into long-lived per-user
+  # K/V buffers and batches concurrent requests through a worker thread —
+  # exactly the kind of buffer-reuse and cross-thread handoff the
+  # sanitizers exist for; the fuzzed session-store interleavings run here
+  # with halt_on_error so any stale-row read fails loudly.
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   ctest -L serve --output-on-failure)
 done

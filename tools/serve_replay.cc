@@ -1,0 +1,213 @@
+// serve_replay — drives the long-lived recommendation service with a
+// simulated check-in replay from the synthetic generator and reports
+// serving throughput plus request-latency percentiles.
+//
+// All check-ins from the selected users are merged into one global
+// timestamp-ordered stream; each event becomes an Append followed by a
+// ScoreAsync against a fixed candidate set, so concurrent requests from
+// different users coalesce in the service's batching window exactly as
+// they would in production.
+//
+// Usage:
+//   serve_replay --preset gowalla --scale 0.08 --users 64
+//                --warmup 3 --candidates 100
+//                --max-sessions 32 --batch-window 200 --max-batch 32
+//                --max-seq-len 100 [--tape] [--metrics-json FILE]
+//
+//   --users N         cap on replayed users (default 64)
+//   --warmup K        per-user prefix appended before the timed phase
+//   --candidates C    candidate-set size per request (default 100)
+//   --max-sessions N  resident-session cap (LRU eviction beyond it)
+//   --batch-window US coalescing window in microseconds (0 = no wait)
+//   --max-batch N     cut the window short once N requests queue
+//   --max-seq-len N   serving window; longer histories fall back to the
+//                     batched trailing-window path
+//   --tape            use the full TAPE model (preprocess tier) instead
+//                     of the K/V-cache tier
+//   --metrics-json F  write the obs-registry snapshot (same flag as the
+//                     trainer CLI) with the serve/* counters and the
+//                     time/serve/request histogram
+//
+// The incremental engine covers STiSAN configurations; the same driver
+// exercises the pure fallback path when --max-seq-len is set below the
+// replayed history lengths.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+#include "util/io_env.h"
+#include "util/rng.h"
+
+using namespace stisan;
+
+namespace {
+
+struct ReplayEvent {
+  int64_t user = 0;
+  int64_t poi = 0;
+  double timestamp = 0.0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "gowalla";
+  std::string metrics_json;
+  double scale = 0.08;
+  int64_t users = 64;
+  int64_t warmup = 3;
+  int64_t candidates = 100;
+  bool use_tape = false;
+  serve::ServeOptions so;
+  so.max_sessions = 32;
+  so.batch_window_us = 200;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() { return i + 1 < argc ? argv[++i] : ""; };
+    if (std::strcmp(argv[i], "--preset") == 0) preset = next();
+    else if (std::strcmp(argv[i], "--scale") == 0) scale = std::atof(next());
+    else if (std::strcmp(argv[i], "--users") == 0) users = std::atoll(next());
+    else if (std::strcmp(argv[i], "--warmup") == 0) warmup = std::atoll(next());
+    else if (std::strcmp(argv[i], "--candidates") == 0)
+      candidates = std::atoll(next());
+    else if (std::strcmp(argv[i], "--max-sessions") == 0)
+      so.max_sessions = std::atoll(next());
+    else if (std::strcmp(argv[i], "--batch-window") == 0)
+      so.batch_window_us = std::atoll(next());
+    else if (std::strcmp(argv[i], "--max-batch") == 0)
+      so.max_batch = std::atoll(next());
+    else if (std::strcmp(argv[i], "--max-seq-len") == 0)
+      so.max_seq_len = std::atoll(next());
+    else if (std::strcmp(argv[i], "--tape") == 0) use_tape = true;
+    else if (std::strcmp(argv[i], "--metrics-json") == 0)
+      metrics_json = next();
+  }
+
+  data::SyntheticConfig cfg;
+  if (preset == "brightkite") cfg = data::BrightkiteLikeConfig(scale);
+  else if (preset == "weeplaces") cfg = data::WeeplacesLikeConfig(scale);
+  else if (preset == "changchun") cfg = data::ChangchunLikeConfig(scale);
+  else cfg = data::GowallaLikeConfig(scale);
+  const data::Dataset dataset = data::GenerateSynthetic(cfg);
+
+  core::StisanOptions opts;
+  opts.use_tape = use_tape;
+  opts.knn_negatives = false;  // frozen model, no training
+  core::StisanModel model(dataset, opts);
+
+  // Global timestamp-ordered replay stream over the selected users.
+  std::vector<ReplayEvent> warm, timed;
+  int64_t replayed_users = 0;
+  for (size_t u = 0; u < dataset.user_seqs.size() && replayed_users < users;
+       ++u) {
+    const auto& seq = dataset.user_seqs[u];
+    if (static_cast<int64_t>(seq.size()) <= warmup) continue;
+    ++replayed_users;
+    for (size_t k = 0; k < seq.size(); ++k) {
+      auto& out = static_cast<int64_t>(k) < warmup ? warm : timed;
+      out.push_back({static_cast<int64_t>(u), seq[k].poi, seq[k].timestamp});
+    }
+  }
+  auto by_time = [](const ReplayEvent& a, const ReplayEvent& b) {
+    return a.timestamp < b.timestamp;
+  };
+  std::stable_sort(warm.begin(), warm.end(), by_time);
+  std::stable_sort(timed.begin(), timed.end(), by_time);
+
+  // Fixed candidate set shared by all requests (top-N reranking shape).
+  Rng rng(17);
+  std::vector<int64_t> cands;
+  while (static_cast<int64_t>(cands.size()) < candidates) {
+    const int64_t poi = 1 + static_cast<int64_t>(rng.UniformInt(
+                                static_cast<uint64_t>(dataset.num_pois())));
+    if (std::find(cands.begin(), cands.end(), poi) == cands.end())
+      cands.push_back(poi);
+  }
+
+  serve::RecommendService service(&model, so);
+  std::printf("serve_replay: %lld users, %zu warmup + %zu timed events, "
+              "%lld candidates, tier=%s\n",
+              static_cast<long long>(replayed_users), warm.size(),
+              timed.size(), static_cast<long long>(candidates),
+              service.incremental() ? (use_tape ? "preprocess" : "kv-cache")
+                                    : "fallback");
+
+  for (const auto& ev : warm) service.Append(ev.user, ev.poi, ev.timestamp);
+
+  // Timed phase: append + score per event, draining futures in a sliding
+  // window so the queue stays busy without unbounded growth.
+  constexpr size_t kWindow = 256;
+  std::deque<std::future<serve::ScoreResult>> inflight;
+  std::vector<double> latencies;
+  latencies.reserve(timed.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& ev : timed) {
+    service.Append(ev.user, ev.poi, ev.timestamp);
+    inflight.push_back(service.ScoreAsync(ev.user, cands));
+    while (inflight.size() > kWindow) {
+      latencies.push_back(inflight.front().get().latency_s);
+      inflight.pop_front();
+    }
+  }
+  service.Drain();
+  while (!inflight.empty()) {
+    latencies.push_back(inflight.front().get().latency_s);
+    inflight.pop_front();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = wall > 0 ? static_cast<double>(latencies.size()) / wall
+                              : 0.0;
+  std::printf("timed phase: %.3f s wall, %zu requests\n", wall,
+              latencies.size());
+  std::printf("throughput:  %.1f req/s\n", qps);
+  std::printf("latency:     p50 %.3f ms   p99 %.3f ms   max %.3f ms\n",
+              Percentile(latencies, 0.50) * 1e3,
+              Percentile(latencies, 0.99) * 1e3,
+              latencies.empty() ? 0.0 : latencies.back() * 1e3);
+  std::printf(
+      "serve counters: appends=%llu requests=%llu incremental=%llu "
+      "fallback=%llu evictions=%llu rebuilds=%llu overflows=%llu\n",
+      static_cast<unsigned long long>(obs::GetCounter("serve/appends").Get()),
+      static_cast<unsigned long long>(obs::GetCounter("serve/requests").Get()),
+      static_cast<unsigned long long>(
+          obs::GetCounter("serve/incremental_scored").Get()),
+      static_cast<unsigned long long>(
+          obs::GetCounter("serve/fallback_scored").Get()),
+      static_cast<unsigned long long>(
+          obs::GetCounter("serve/evictions").Get()),
+      static_cast<unsigned long long>(
+          obs::GetCounter("serve/cache_rebuilds").Get()),
+      static_cast<unsigned long long>(
+          obs::GetCounter("serve/overflows").Get()));
+
+  if (!metrics_json.empty()) {
+    const Status s = obs::WriteJsonAtomic(Env::Default(), metrics_json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", metrics_json.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_json.c_str());
+  }
+  return 0;
+}
