@@ -173,6 +173,48 @@ void BM_ServicePumpAppendScore(benchmark::State& state) {
 }
 BENCHMARK(BM_ServicePumpAppendScore)->Arg(100);
 
+// The same service path with the full overload-safety machinery armed —
+// request validation (num_pois bound), bounded-queue admission
+// accounting, per-request deadline bookkeeping and the stale-serve tier
+// enabled (but never triggered: deadlines are comfortable and the queue
+// never fills). Compared against BM_ServicePumpAppendScore this isolates
+// what DESIGN.md §15 costs on the happy path.
+void BM_ServicePumpOverloadGuards(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  static ServingFixture* fx = new ServingFixture(512);
+  serve::ServeOptions so;
+  so.max_seq_len = n + kReps;
+  so.start_worker = false;
+  so.max_queue = 1024;  // bounded but never full in pump mode
+  so.queue_policy = serve::QueuePolicy::kShedOldest;
+  so.default_deadline_us = 60'000'000;  // comfortable: never expires
+  so.allow_stale = true;
+  so.num_pois = fx->dataset.num_pois();
+  std::vector<double> lat_us;
+  int64_t user = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    serve::RecommendService service(&fx->model, so);
+    ++user;  // fresh session per iteration
+    for (int64_t i = 0; i < n; ++i) {
+      service.Append(user, fx->pois[i], fx->timestamps[i]);
+    }
+    (void)service.Score(user, fx->candidates);  // warm cache to length n
+    state.ResumeTiming();
+    for (int64_t r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      service.Append(user, fx->pois[n + r], fx->timestamps[n + r]);
+      auto result = service.Score(user, fx->candidates);
+      benchmark::DoNotOptimize(result.scores.data());
+      lat_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    }
+  }
+  ReportLatencies(state, lat_us);
+}
+BENCHMARK(BM_ServicePumpOverloadGuards)->Arg(100);
+
 }  // namespace
 }  // namespace stisan
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "core/taad.h"
 #include "data/types.h"
@@ -228,12 +230,30 @@ int64_t IncrementalScorer::Sync(IncrementalState& state,
                                 const std::vector<double>& timestamps) const {
   NoGradGuard no_grad;
   const int64_t n = static_cast<int64_t>(pois.size());
-  STISAN_CHECK_EQ(n, static_cast<int64_t>(timestamps.size()));
-  STISAN_CHECK_LE(n, max_seq_len_);
-  STISAN_CHECK_GE(state.cached_len, 0);
-  // The store only ever appends; a shrunk history means state reuse across
-  // users, which Reset() guards against.
-  STISAN_CHECK_LE(state.cached_len, n);
+  // Entry guards throw instead of CHECK-aborting: the serving layer sits
+  // directly above this call and must be able to fail one request
+  // (util::Status kInternal through its exception barrier) without taking
+  // the process down.
+  if (n != static_cast<int64_t>(timestamps.size())) {
+    throw std::invalid_argument(
+        "IncrementalScorer::Sync: pois/timestamps length mismatch (" +
+        std::to_string(n) + " vs " + std::to_string(timestamps.size()) +
+        ")");
+  }
+  if (n > max_seq_len_) {
+    throw std::length_error(
+        "IncrementalScorer::Sync: history length " + std::to_string(n) +
+        " exceeds max_seq_len " + std::to_string(max_seq_len_) +
+        " (window before calling)");
+  }
+  if (state.cached_len < 0 || state.cached_len > n) {
+    // The store only ever appends; a shrunk history means state reuse
+    // across users, which Reset() guards against.
+    throw std::logic_error(
+        "IncrementalScorer::Sync: cached_len " +
+        std::to_string(state.cached_len) +
+        " inconsistent with history length " + std::to_string(n));
+  }
 
   EnsureBuffers(state);
 
@@ -293,7 +313,11 @@ std::vector<float> IncrementalScorer::Score(
   model_->SetTraining(false);
   Sync(state, pois, timestamps);
   const int64_t n = static_cast<int64_t>(pois.size());
-  STISAN_CHECK_GE(n, 1);
+  if (n < 1) {
+    throw std::invalid_argument(
+        "IncrementalScorer::Score: empty history (cold starts are the "
+        "caller's responsibility)");
+  }
 
   Tensor f;
   if (tier_ == IncrementalTier::kKvCache) {

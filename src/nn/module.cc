@@ -27,7 +27,9 @@ std::vector<Tensor> Module::Parameters() const {
 }
 
 void Module::SetTraining(bool training) {
-  training_ = training;
+  if (training_.load(std::memory_order_relaxed) != training) {
+    training_.store(training, std::memory_order_relaxed);
+  }
   for (Module* child : children_) child->SetTraining(training);
 }
 

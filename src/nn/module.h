@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -31,9 +32,13 @@ class Module {
   /// All trainable parameters of this module and its children.
   std::vector<Tensor> Parameters() const;
 
-  /// Switches between training (dropout active) and eval mode.
+  /// Switches between training (dropout active) and eval mode. Safe to
+  /// call concurrently with forward passes on other threads: the flag is
+  /// a relaxed atomic and the write is skipped when the mode already
+  /// matches, so a frozen model's eval-mode Score calls never write
+  /// shared state (the serving runtime relies on this).
   void SetTraining(bool training);
-  bool training() const { return training_; }
+  bool training() const { return training_.load(std::memory_order_relaxed); }
 
   /// Writes all parameters (recursively, in registration order) to a
   /// versioned, CRC-protected checkpoint file, written atomically (temp
@@ -64,7 +69,7 @@ class Module {
  private:
   std::vector<Tensor> params_;
   std::vector<Module*> children_;
-  bool training_ = true;
+  std::atomic<bool> training_{true};
 };
 
 }  // namespace stisan::nn

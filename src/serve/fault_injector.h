@@ -1,0 +1,96 @@
+// Fault-injection hooks for the serving runtime, in the spirit of
+// util::FaultInjectionEnv (io_env.h): tests install a declarative plan and
+// the service calls back at well-defined points on its worker/pump thread.
+//
+// Injectable faults:
+//   - scorer throws: every Nth score op raises ServeFaultError from inside
+//     the scoring path (incremental or fallback), exercising the worker's
+//     exception barrier — the affected request must resolve with kInternal
+//     and the service must keep serving;
+//   - batch throws: every Nth fallback ScoreBatch call fails before the
+//     forward, so an entire coalesced batch's promises must resolve;
+//   - forced evictions: every Nth score first drops the serving user's
+//     resident cache state (history kept), forcing a mid-batch cold
+//     rebuild that must stay bit-identical;
+//   - injected latency: a fixed delay before each dequeued batch is
+//     processed, inflating queue wait so deadline/shed paths trigger
+//     under test control.
+//
+// All counters are atomics: the plan is installed from the test thread
+// before load is applied, hooks run on the worker thread, and tests read
+// the counters after Drain()/shutdown.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace stisan::serve {
+
+/// Exception raised by injected scorer/batch faults. Deliberately derived
+/// from std::runtime_error: the service's barrier must not special-case
+/// it — any std::exception escaping the scoring path gets the same
+/// kInternal treatment.
+struct ServeFaultError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative fault plan. A zero period disables that fault; period k
+/// fires on the k-th, 2k-th, ... occurrence since SetPlan().
+struct ServeFaultPlan {
+  /// Throw ServeFaultError from the scoring path on every Nth score op.
+  int64_t throw_every_scores = 0;
+  /// Throw ServeFaultError before every Nth fallback ScoreBatch forward.
+  int64_t throw_every_batches = 0;
+  /// Force-evict the serving user's cache state before every Nth score.
+  int64_t evict_every_scores = 0;
+  /// Sleep this long before processing each dequeued batch.
+  int64_t batch_latency_us = 0;
+};
+
+class ServeFaultInjector {
+ public:
+  ServeFaultInjector() = default;
+
+  /// Installs a new plan and resets all occurrence counters.
+  void SetPlan(const ServeFaultPlan& plan);
+  const ServeFaultPlan& plan() const { return plan_; }
+
+  // ---- Hooks (called by RecommendService on its processing thread) ----
+
+  /// Called once per dequeued batch, before any op is applied. Sleeps
+  /// plan().batch_latency_us.
+  void OnBatchDequeued();
+
+  /// Called before a score op is served. Returns true when the plan wants
+  /// the user's cache state force-evicted first.
+  bool ShouldEvictBeforeScore();
+
+  /// Called from inside the scoring path; throws ServeFaultError when the
+  /// plan's score-throw period fires.
+  void MaybeThrowOnScore();
+
+  /// Called before each fallback ScoreBatch forward; throws
+  /// ServeFaultError when the batch-throw period fires.
+  void MaybeThrowOnBatch();
+
+  // ---- Counters (read by tests after Drain()/shutdown) ----
+
+  int64_t scores_seen() const { return scores_seen_.load(); }
+  int64_t batches_seen() const { return batches_seen_.load(); }
+  int64_t score_throws() const { return score_throws_.load(); }
+  int64_t batch_throws() const { return batch_throws_.load(); }
+  int64_t forced_evictions() const { return forced_evictions_.load(); }
+
+ private:
+  ServeFaultPlan plan_;
+  std::atomic<int64_t> scores_seen_{0};
+  std::atomic<int64_t> evict_clock_{0};
+  std::atomic<int64_t> batches_seen_{0};
+  std::atomic<int64_t> score_throws_{0};
+  std::atomic<int64_t> batch_throws_{0};
+  std::atomic<int64_t> forced_evictions_{0};
+};
+
+}  // namespace stisan::serve

@@ -1,6 +1,10 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/stisan.h"
@@ -21,8 +25,17 @@ struct ServeMetrics {
   obs::Counter& rebuilds = obs::GetCounter("serve/cache_rebuilds");
   obs::Counter& evictions = obs::GetCounter("serve/evictions");
   obs::Counter& overflows = obs::GetCounter("serve/overflows");
+  obs::Counter& shed = obs::GetCounter("serve/shed");
+  obs::Counter& rejected = obs::GetCounter("serve/rejected");
+  obs::Counter& deadline_exceeded =
+      obs::GetCounter("serve/deadline_exceeded");
+  obs::Counter& batch_failures = obs::GetCounter("serve/batch_failures");
+  obs::Counter& stale_served = obs::GetCounter("serve/stale_served");
+  obs::Counter& invalid_requests =
+      obs::GetCounter("serve/invalid_requests");
   obs::Gauge& resident = obs::GetGauge("serve/resident_sessions");
   obs::Histogram& latency = obs::GetHistogram("time/serve/request");
+  obs::Histogram& queue_wait = obs::GetHistogram("serve/queue_wait");
   obs::Histogram& queue_depth =
       obs::GetHistogram("serve/queue_depth", obs::CountBounds());
   obs::Histogram& batch_size =
@@ -34,6 +47,12 @@ ServeMetrics& Metrics() {
   return *m;
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 RecommendService::RecommendService(models::SequentialRecommender* model,
@@ -42,6 +61,7 @@ RecommendService::RecommendService(models::SequentialRecommender* model,
   STISAN_CHECK(model != nullptr);
   STISAN_CHECK_GE(options_.max_seq_len, 1);
   STISAN_CHECK_GE(options_.max_batch, 1);
+  STISAN_CHECK_GE(options_.max_queue, 0);
   if (auto* stisan = dynamic_cast<core::StisanModel*>(model)) {
     engine_ = std::make_unique<core::IncrementalScorer>(stisan,
                                                         options_.max_seq_len);
@@ -51,65 +71,164 @@ RecommendService::RecommendService(models::SequentialRecommender* model,
   }
 }
 
-RecommendService::~RecommendService() {
-  if (worker_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    work_cv_.notify_all();
-    worker_.join();
-  }
-}
+RecommendService::~RecommendService() { Shutdown(); }
 
-void RecommendService::Enqueue(Op op) {
-  op.enqueued = std::chrono::steady_clock::now();
+void RecommendService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Whatever is still queued (pump-mode leftovers, ops the worker never
+  // dequeued) resolves now: a typed error, never a broken promise.
+  std::deque<Op> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    processed_ops_ += leftover.size();
+  }
+  for (Op& op : leftover) {
+    if (op.kind == OpKind::kScore && !op.resolved) {
+      Fail(op, Status::Unavailable("service shut down with request pending"));
+    }
+  }
+  drained_cv_.notify_all();
+}
+
+Status RecommendService::ValidateAppend(int64_t poi,
+                                        double timestamp) const {
+  if (poi == data::kPaddingPoi || poi < 0 ||
+      (options_.num_pois > 0 && poi > options_.num_pois)) {
+    return Status::InvalidArgument("POI id out of range: " +
+                                   std::to_string(poi));
+  }
+  if (!std::isfinite(timestamp)) {
+    return Status::InvalidArgument("non-finite timestamp");
+  }
+  return Status::OK();
+}
+
+Status RecommendService::ValidateScore(
+    const std::vector<int64_t>& candidates) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  for (int64_t poi : candidates) {
+    if (poi == data::kPaddingPoi || poi < 0 ||
+        (options_.num_pois > 0 && poi > options_.num_pois)) {
+      return Status::InvalidArgument("candidate POI id out of range: " +
+                                     std::to_string(poi));
+    }
+  }
+  return Status::OK();
+}
+
+Status RecommendService::Enqueue(Op& op) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return Status::Unavailable("service stopped");
+    if (options_.max_queue > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      switch (options_.queue_policy) {
+        case QueuePolicy::kBlock:
+          space_cv_.wait(lock, [this] {
+            return stop_ || static_cast<int64_t>(queue_.size()) <
+                                options_.max_queue;
+          });
+          if (stop_) return Status::Unavailable("service stopped");
+          break;
+        case QueuePolicy::kRejectNew:
+          Metrics().rejected.Inc();
+          return Status::ResourceExhausted("op queue full (kRejectNew)");
+        case QueuePolicy::kShedOldest: {
+          auto victim_it = std::find_if(
+              queue_.begin(), queue_.end(),
+              [](const Op& o) { return o.kind == OpKind::kScore; });
+          if (victim_it == queue_.end()) {
+            // Nothing sheddable (appends/evicts keep history consistent).
+            Metrics().rejected.Inc();
+            return Status::ResourceExhausted(
+                "op queue full (kShedOldest, no sheddable request)");
+          }
+          Op victim = std::move(*victim_it);
+          queue_.erase(victim_it);
+          // The victim was admitted earlier; account it as processed so
+          // Drain() still converges.
+          ++processed_ops_;
+          Metrics().shed.Inc();
+          Fail(victim, Status::ResourceExhausted("shed under load"));
+          drained_cv_.notify_all();
+          break;
+        }
+      }
+    }
     queue_.push_back(std::move(op));
     ++enqueued_ops_;
     Metrics().queue_depth.Observe(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
+  return Status::OK();
 }
 
-void RecommendService::Append(int64_t user, int64_t poi, double timestamp) {
-  STISAN_CHECK_NE(poi, data::kPaddingPoi);
+Status RecommendService::Append(int64_t user, int64_t poi,
+                                double timestamp) {
+  Status valid = ValidateAppend(poi, timestamp);
+  if (!valid.ok()) {
+    Metrics().invalid_requests.Inc();
+    return valid;
+  }
   Op op;
   op.kind = OpKind::kAppend;
   op.user = user;
   op.poi = poi;
   op.timestamp = timestamp;
-  Enqueue(std::move(op));
+  op.enqueued = std::chrono::steady_clock::now();
+  return Enqueue(op);
 }
 
 std::future<ScoreResult> RecommendService::ScoreAsync(
-    int64_t user, std::vector<int64_t> candidates) {
+    int64_t user, std::vector<int64_t> candidates, int64_t deadline_us) {
   Op op;
   op.kind = OpKind::kScore;
   op.user = user;
   op.candidates = std::move(candidates);
+  op.enqueued = std::chrono::steady_clock::now();
   std::future<ScoreResult> fut = op.promise.get_future();
-  Enqueue(std::move(op));
+  Status valid = ValidateScore(op.candidates);
+  if (!valid.ok()) {
+    Metrics().invalid_requests.Inc();
+    Fail(op, std::move(valid));
+    return fut;
+  }
+  if (deadline_us <= 0) deadline_us = options_.default_deadline_us;
+  if (deadline_us > 0) {
+    op.has_deadline = true;
+    op.deadline = op.enqueued + std::chrono::microseconds(deadline_us);
+  }
+  Status admitted = Enqueue(op);
+  if (!admitted.ok()) Fail(op, std::move(admitted));
   return fut;
 }
 
 ScoreResult RecommendService::Score(int64_t user,
                                     std::vector<int64_t> candidates) {
   std::future<ScoreResult> fut = ScoreAsync(user, std::move(candidates));
-  if (!worker_.joinable()) Pump();
+  if (!options_.start_worker) Pump();
   return fut.get();
 }
 
-void RecommendService::EvictSession(int64_t user) {
+Status RecommendService::EvictSession(int64_t user) {
   Op op;
   op.kind = OpKind::kEvict;
   op.user = user;
-  Enqueue(std::move(op));
+  op.enqueued = std::chrono::steady_clock::now();
+  return Enqueue(op);
 }
 
 size_t RecommendService::Pump() {
-  STISAN_CHECK_MSG(!worker_.joinable(),
+  STISAN_CHECK_MSG(!options_.start_worker,
                    "Pump() is only valid with start_worker = false");
   std::vector<Op> batch;
   {
@@ -118,13 +237,14 @@ size_t RecommendService::Pump() {
                  std::make_move_iterator(queue_.end()));
     queue_.clear();
   }
+  space_cv_.notify_all();
   const size_t n = batch.size();
   if (n > 0) Process(std::move(batch));
   return n;
 }
 
 void RecommendService::Drain() {
-  if (!worker_.joinable()) {
+  if (!options_.start_worker) {
     Pump();
     return;
   }
@@ -138,35 +258,88 @@ void RecommendService::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty() && stop_) return;
+      // Leftover queue entries are resolved (kUnavailable) by Shutdown.
+      if (stop_) return;
       if (options_.batch_window_us > 0) {
         // Coalescing window: let concurrent requests pile up so fallback
-        // scores share one padded forward. Cut short once a full batch is
-        // waiting or shutdown begins.
-        const auto deadline =
-            std::chrono::steady_clock::now() +
-            std::chrono::microseconds(options_.batch_window_us);
+        // scores share one padded forward. Cut short once a full batch
+        // is waiting, shutdown begins, or — deadline pressure — waiting
+        // any longer would expire a queued request.
+        auto cut = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(options_.batch_window_us);
+        auto tighten = [this, &cut] {
+          for (const Op& op : queue_) {
+            if (op.has_deadline && op.deadline < cut) cut = op.deadline;
+          }
+        };
+        tighten();
         while (!stop_ &&
                static_cast<int64_t>(queue_.size()) < options_.max_batch &&
-               work_cv_.wait_until(lock, deadline) !=
-                   std::cv_status::timeout) {
+               std::chrono::steady_clock::now() < cut &&
+               work_cv_.wait_until(lock, cut) != std::cv_status::timeout) {
+          tighten();
         }
+        if (stop_) return;
       }
       batch.assign(std::make_move_iterator(queue_.begin()),
                    std::make_move_iterator(queue_.end()));
       queue_.clear();
     }
+    space_cv_.notify_all();
     if (!batch.empty()) Process(std::move(batch));
   }
 }
 
-void RecommendService::Fulfil(Op& op, std::vector<float> scores) {
-  const double latency =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    op.enqueued)
-          .count();
+void RecommendService::Fulfil(Op& op, std::vector<float> scores,
+                              bool stale) {
+  op.resolved = true;
+  const double latency = SecondsSince(op.enqueued);
   Metrics().latency.Observe(latency);
-  op.promise.set_value({std::move(scores), latency});
+  ScoreResult result;
+  result.scores = std::move(scores);
+  result.latency_s = latency;
+  result.stale = stale;
+  op.promise.set_value(std::move(result));
+}
+
+void RecommendService::Fail(Op& op, Status status) {
+  op.resolved = true;
+  ScoreResult result;
+  result.status = std::move(status);
+  result.latency_s = SecondsSince(op.enqueued);
+  op.promise.set_value(std::move(result));
+}
+
+// Last rung of degradation for a request whose deadline already expired:
+// serve from the user's resident cached prefix when allowed (no sync, no
+// fallback forward), else resolve kDeadlineExceeded. Never throws.
+void RecommendService::ServeStaleOrExpire(Op& op) {
+  ServeMetrics& m = Metrics();
+  if (options_.allow_stale && engine_ != nullptr) {
+    Session* s = store_.Find(op.user);
+    if (s != nullptr && s->resident && s->state != nullptr &&
+        s->state->cached_len >= 1 &&
+        s->state->cached_len <= static_cast<int64_t>(s->pois.size())) {
+      const auto n = static_cast<size_t>(s->state->cached_len);
+      try {
+        std::vector<int64_t> pois(s->pois.begin(), s->pois.begin() + n);
+        std::vector<double> ts(s->timestamps.begin(),
+                               s->timestamps.begin() + n);
+        std::vector<float> scores =
+            engine_->Score(*s->state, pois, ts, op.candidates);
+        m.stale_served.Inc();
+        Fulfil(op, std::move(scores), /*stale=*/true);
+        return;
+      } catch (const std::exception& e) {
+        m.batch_failures.Inc();
+        Fail(op, Status::Internal(std::string("stale serve failed: ") +
+                                  e.what()));
+        return;
+      }
+    }
+  }
+  m.deadline_exceeded.Inc();
+  Fail(op, Status::DeadlineExceeded("deadline expired before serving"));
 }
 
 void RecommendService::FlushFallback(std::vector<Op>* pending) {
@@ -192,31 +365,75 @@ void RecommendService::FlushFallback(std::vector<Op>* pending) {
          start += static_cast<size_t>(options_.max_batch)) {
       const size_t end = std::min(
           group.size(), start + static_cast<size_t>(options_.max_batch));
+      // Deadline re-check at the last moment before this chunk's forward:
+      // ops that expired while coalescing — or while an earlier chunk of
+      // this same flush was forwarding — leave through the stale /
+      // deadline-exceeded rung instead of paying for a padded forward.
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<Op*> chunk;
       std::vector<const data::EvalInstance*> instances;
       std::vector<std::vector<int64_t>> candidates;
       for (size_t i = start; i < end; ++i) {
+        if (group[i]->has_deadline && now > group[i]->deadline) {
+          ServeStaleOrExpire(*group[i]);
+          continue;
+        }
+        chunk.push_back(group[i]);
         instances.push_back(&group[i]->instance);
         candidates.push_back(group[i]->candidates);
       }
-      m.batch_size.Observe(static_cast<double>(instances.size()));
-      auto scores = model_->ScoreBatch(instances, candidates);
-      STISAN_CHECK_EQ(scores.size(), instances.size());
-      for (size_t i = start; i < end; ++i) {
-        m.fallback.Inc();
-        Fulfil(*group[i], std::move(scores[i - start]));
+      if (chunk.empty()) continue;
+      // Exception barrier: a throwing forward fails exactly this chunk's
+      // promises with kInternal; earlier chunks keep their scores and the
+      // worker keeps serving.
+      try {
+        if (options_.fault_injector != nullptr) {
+          options_.fault_injector->MaybeThrowOnBatch();
+        }
+        m.batch_size.Observe(static_cast<double>(instances.size()));
+        auto scores = model_->ScoreBatch(instances, candidates);
+        if (scores.size() != instances.size()) {
+          throw std::runtime_error("ScoreBatch returned " +
+                                   std::to_string(scores.size()) +
+                                   " results for " +
+                                   std::to_string(instances.size()) +
+                                   " instances");
+        }
+        for (size_t i = 0; i < chunk.size(); ++i) {
+          m.fallback.Inc();
+          Fulfil(*chunk[i], std::move(scores[i]));
+        }
+      } catch (const std::exception& e) {
+        m.batch_failures.Inc();
+        for (Op* op : chunk) {
+          if (!op->resolved) {
+            Fail(*op,
+                 Status::Internal(std::string("batch forward failed: ") +
+                                  e.what()));
+          }
+        }
       }
     }
   }
   pending->clear();
 }
 
-void RecommendService::ServeScore(Op op, std::vector<Op>* pending) {
+void RecommendService::ServeScore(Op& op, std::vector<Op>* pending) {
   ServeMetrics& m = Metrics();
   m.requests.Inc();
+  if (op.has_deadline && std::chrono::steady_clock::now() > op.deadline) {
+    ServeStaleOrExpire(op);
+    return;
+  }
+  ServeFaultInjector* inj = options_.fault_injector;
+  if (inj != nullptr && inj->ShouldEvictBeforeScore()) {
+    store_.Evict(op.user);
+  }
   Session& s = store_.GetOrCreate(op.user);
   const int64_t len = static_cast<int64_t>(s.pois.size());
   if (len == 0) {
     // Cold start: nothing to condition on; scores are all zero.
+    if (inj != nullptr) inj->MaybeThrowOnScore();
     m.cold_starts.Inc();
     Fulfil(op, std::vector<float>(op.candidates.size(), 0.0f));
     return;
@@ -227,6 +444,7 @@ void RecommendService::ServeScore(Op op, std::vector<Op>* pending) {
     m.evictions.Inc(
         static_cast<uint64_t>(store_.evictions() - evictions_before));
     if (s.state->cached_len == 0 && len > 1) m.cold_builds.Inc();
+    if (inj != nullptr) inj->MaybeThrowOnScore();
     const int64_t rebuilds = engine_->Sync(*s.state, s.pois, s.timestamps);
     m.rebuilds.Inc(static_cast<uint64_t>(rebuilds));
     std::vector<float> scores =
@@ -241,6 +459,7 @@ void RecommendService::ServeScore(Op op, std::vector<Op>* pending) {
   op.instance.poi.assign(s.pois.end() - n, s.pois.end());
   op.instance.t.assign(s.timestamps.end() - n, s.timestamps.end());
   op.instance.first_real = 0;
+  op.handed_off = true;
   pending->push_back(std::move(op));
   if (static_cast<int64_t>(pending->size()) >= options_.max_batch) {
     FlushFallback(pending);
@@ -249,6 +468,10 @@ void RecommendService::ServeScore(Op op, std::vector<Op>* pending) {
 
 void RecommendService::Process(std::vector<Op> ops) {
   ServeMetrics& m = Metrics();
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->OnBatchDequeued();
+  }
+  for (const Op& op : ops) m.queue_wait.Observe(SecondsSince(op.enqueued));
   std::vector<Op> pending;
   auto pending_user = [&pending](int64_t user) {
     for (const Op& op : pending) {
@@ -261,27 +484,49 @@ void RecommendService::Process(std::vector<Op> ops) {
     switch (op.kind) {
       case OpKind::kAppend: {
         // Per-user FIFO: a queued fallback score must observe the history
-        // as of its own arrival, so flush before mutating it.
-        if (pending_user(op.user)) FlushFallback(&pending);
-        store_.Append(op.user, op.poi, op.timestamp);
-        m.appends.Inc();
-        Session& s = store_.GetOrCreate(op.user);
-        if (engine_ != nullptr && s.resident &&
-            static_cast<int64_t>(s.pois.size()) > options_.max_seq_len) {
-          // Past the serving window the cached rows no longer mirror the
-          // (windowed) full forward; release them.
-          store_.Evict(op.user);
-          m.overflows.Inc();
+        // as of its own arrival, so flush before mutating it. The barrier
+        // swallows (state-mutation ops carry no promise): the worker must
+        // outlive any single failed op.
+        try {
+          if (pending_user(op.user)) FlushFallback(&pending);
+          store_.Append(op.user, op.poi, op.timestamp);
+          m.appends.Inc();
+          Session& s = store_.GetOrCreate(op.user);
+          if (engine_ != nullptr && s.resident &&
+              static_cast<int64_t>(s.pois.size()) > options_.max_seq_len) {
+            // Past the serving window the cached rows no longer mirror
+            // the (windowed) full forward; release them.
+            store_.Evict(op.user);
+            m.overflows.Inc();
+          }
+        } catch (const std::exception&) {
+          m.batch_failures.Inc();
         }
         break;
       }
       case OpKind::kEvict: {
-        if (pending_user(op.user)) FlushFallback(&pending);
-        store_.Evict(op.user);
+        try {
+          if (pending_user(op.user)) FlushFallback(&pending);
+          store_.Evict(op.user);
+        } catch (const std::exception&) {
+          m.batch_failures.Inc();
+        }
         break;
       }
       case OpKind::kScore: {
-        ServeScore(std::move(op), &pending);
+        // Exception barrier: a throwing scorer (model fault, injected
+        // fault, internal inconsistency) fails only this request with
+        // kInternal; the worker — and every other queued request —
+        // keeps going.
+        try {
+          ServeScore(op, &pending);
+        } catch (const std::exception& e) {
+          if (!op.resolved && !op.handed_off) {
+            m.batch_failures.Inc();
+            Fail(op, Status::Internal(std::string("scorer failed: ") +
+                                      e.what()));
+          }
+        }
         break;
       }
     }

@@ -14,17 +14,42 @@
 // length. Per-user FIFO ordering is preserved: a queued fallback score
 // flushes before a later op for the same user is applied.
 //
+// Overload safety (DESIGN.md §15): every request resolves — with scores or
+// with a typed util::Status — and no input, fault, or load level crashes
+// the service or leaks a broken promise.
+//
+//   - Admission control: `max_queue` bounds the op queue; over the bound
+//     the `queue_policy` either blocks the producer (kBlock), rejects the
+//     new op (kRejectNew, kResourceExhausted), or sheds the oldest queued
+//     score to admit the new op (kShedOldest).
+//   - Deadlines: per-request (or `default_deadline_us`) deadlines are
+//     checked at dequeue and again before the fallback batch forward;
+//     expired requests resolve kDeadlineExceeded — or, with `allow_stale`,
+//     degrade to a stale serve from the user's resident cached prefix
+//     (the last rung before giving up). Deadline pressure also cuts the
+//     coalescing window short.
+//   - Fault tolerance: an exception barrier around the scoring paths
+//     resolves only the affected request/batch with kInternal and keeps
+//     the worker alive; Shutdown() (and the destructor) resolve every
+//     still-pending promise with kUnavailable, and ops submitted after
+//     shutdown fail fast instead of blocking.
+//   - Input validation: padding/out-of-range POI ids, non-finite
+//     timestamps and empty candidate lists are rejected per-request with
+//     kInvalidArgument instead of CHECK-aborting the process.
+//
 // Determinism contract (pinned by tests/serve_test.cpp): per-user scores
-// are bit-identical to a cold model->Score on the same history, whatever
-// the arrival interleaving, coalescing window, batch cap, thread count, or
-// eviction pattern. The serve/* obs counters depend only on the op order,
-// not on how ops were batched.
+// of *accepted* requests are bit-identical to a cold model->Score on the
+// same history, whatever the arrival interleaving, coalescing window,
+// batch cap, thread count, eviction pattern, or surrounding faults.
 //
 // Observability (src/obs): counters serve/appends, serve/requests,
 // serve/incremental_scored, serve/fallback_scored, serve/cold_starts,
 // serve/cache_rebuilds, serve/cold_builds, serve/evictions,
-// serve/overflows; histograms time/serve/request (enqueue -> fulfil),
-// serve/queue_depth, serve/batch_size; gauge serve/resident_sessions.
+// serve/overflows, serve/shed, serve/rejected, serve/deadline_exceeded,
+// serve/batch_failures, serve/stale_served, serve/invalid_requests;
+// histograms time/serve/request (enqueue -> fulfil), serve/queue_wait
+// (enqueue -> dequeue), serve/queue_depth, serve/batch_size; gauge
+// serve/resident_sessions.
 
 #pragma once
 
@@ -40,9 +65,25 @@
 
 #include "data/types.h"
 #include "models/recommender.h"
+#include "serve/fault_injector.h"
 #include "serve/session_store.h"
+#include "util/status.h"
 
 namespace stisan::serve {
+
+/// What to do with a new op when the queue is at max_queue.
+enum class QueuePolicy {
+  /// Block the producer until the worker makes room (backpressure).
+  /// Requires someone else to drain the queue: only meaningful with the
+  /// worker thread, or with Pump() driven from a different thread.
+  kBlock,
+  /// Fail the new op immediately with kResourceExhausted.
+  kRejectNew,
+  /// Resolve the oldest queued *score* with kResourceExhausted and admit
+  /// the new op. Appends/evicts are never shed (history must stay
+  /// consistent); when no score is queued, falls back to kRejectNew.
+  kShedOldest,
+};
 
 struct ServeOptions {
   /// Cap on resident per-user cache states (LRU-evicted; histories are
@@ -53,19 +94,47 @@ struct ServeOptions {
   int64_t max_seq_len = 100;
   /// Coalescing window in microseconds: after picking up work the worker
   /// keeps draining arrivals this long (or until max_batch ops are
-  /// queued) before processing. 0 = process immediately.
+  /// queued) before processing. 0 = process immediately. Cut short when a
+  /// queued request's deadline would expire inside the window.
   int64_t batch_window_us = 0;
   /// Cap on instances per fallback ScoreBatch call.
   int64_t max_batch = 32;
   /// false = no worker thread; the caller drives processing with Pump()
   /// (deterministic in-thread mode for tests and benchmarks).
   bool start_worker = true;
+  /// Admission control: max ops queued at once (0 = unbounded) and the
+  /// policy applied when the bound is hit.
+  int64_t max_queue = 0;
+  QueuePolicy queue_policy = QueuePolicy::kBlock;
+  /// Default per-request deadline in microseconds from enqueue
+  /// (0 = none); ScoreAsync overloads may override per request.
+  int64_t default_deadline_us = 0;
+  /// Graceful degradation: serve requests whose deadline already expired
+  /// from the user's resident cached prefix (no sync, no fallback
+  /// forward) instead of failing them with kDeadlineExceeded.
+  bool allow_stale = false;
+  /// POI catalog size for request validation (ids are 1-based; 0 = only
+  /// reject padding/negative ids).
+  int64_t num_pois = 0;
+  /// Test-only fault hooks (see fault_injector.h); must outlive the
+  /// service. nullptr in production.
+  ServeFaultInjector* fault_injector = nullptr;
 };
 
 struct ScoreResult {
+  /// OK iff `scores` is valid. Error codes: kInvalidArgument (bad
+  /// request), kResourceExhausted (shed / rejected under load),
+  /// kDeadlineExceeded, kUnavailable (service stopped), kInternal
+  /// (scorer fault — the request failed but the service kept running).
+  Status status;
   std::vector<float> scores;
   /// Enqueue -> fulfil latency as observed by the service, seconds.
   double latency_s = 0.0;
+  /// True when the result was served from the resident cached prefix
+  /// under deadline pressure (allow_stale) instead of the full history.
+  bool stale = false;
+
+  bool ok() const { return status.ok(); }
 };
 
 class RecommendService {
@@ -80,29 +149,47 @@ class RecommendService {
   RecommendService(const RecommendService&) = delete;
   RecommendService& operator=(const RecommendService&) = delete;
 
-  /// Records a check-in. Returns after enqueuing (the append is applied in
-  /// arrival order before any later op).
-  void Append(int64_t user, int64_t poi, double timestamp);
+  /// Records a check-in. Returns OK after enqueuing (the append is
+  /// applied in arrival order before any later op), kInvalidArgument for
+  /// padding/out-of-range POIs or non-finite timestamps,
+  /// kResourceExhausted when admission control rejects it, kUnavailable
+  /// after shutdown.
+  Status Append(int64_t user, int64_t poi, double timestamp);
 
-  /// Scores `candidates` against the user's current history. Users with no
-  /// history resolve to all-zero scores (cold start). The future is
-  /// fulfilled by the worker (or by the next Pump()).
+  /// Scores `candidates` against the user's current history. Users with
+  /// no history resolve to all-zero scores (cold start). The future is
+  /// always valid and always resolves — with scores, or with a typed
+  /// error status (never a broken promise). `deadline_us` microseconds
+  /// from now (<= 0 = use options().default_deadline_us).
   std::future<ScoreResult> ScoreAsync(int64_t user,
-                                      std::vector<int64_t> candidates);
+                                      std::vector<int64_t> candidates,
+                                      int64_t deadline_us);
+  std::future<ScoreResult> ScoreAsync(int64_t user,
+                                      std::vector<int64_t> candidates) {
+    return ScoreAsync(user, std::move(candidates), 0);
+  }
 
-  /// Synchronous convenience: enqueue, (pump when no worker), wait.
+  /// Synchronous convenience: enqueue, (pump when no worker), wait. On a
+  /// stopped service returns kUnavailable instead of blocking.
   ScoreResult Score(int64_t user, std::vector<int64_t> candidates);
 
   /// Drops the user's cached state (history kept) — applied in queue
-  /// order. Tests use this to force mid-sequence evictions.
-  void EvictSession(int64_t user);
+  /// order. Tests use this to force mid-sequence evictions. Same
+  /// admission/shutdown errors as Append.
+  Status EvictSession(int64_t user);
 
   /// Processes everything currently queued on the calling thread; only
-  /// valid with start_worker = false. Returns the number of ops processed.
+  /// valid with start_worker = false. Returns the number of ops
+  /// processed. Safe to drive from one thread while others enqueue.
   size_t Pump();
 
   /// Blocks until every op enqueued so far has been processed.
   void Drain();
+
+  /// Stops accepting work, joins the worker, and resolves every
+  /// still-pending promise with kUnavailable. Idempotent; also run by
+  /// the destructor. Ops already dequeued by the worker finish normally.
+  void Shutdown();
 
   const ServeOptions& options() const { return options_; }
   /// True when the model supports the incremental path.
@@ -118,16 +205,32 @@ class RecommendService {
     std::vector<int64_t> candidates;
     std::promise<ScoreResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    // Absolute deadline; meaningful only when has_deadline.
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    // Barrier bookkeeping: `resolved` is set once the promise has been
+    // fulfilled; `handed_off` is set just before the op moves into the
+    // pending fallback batch (whose flush resolves it), so the worker's
+    // catch block knows the stack copy no longer owns the promise.
+    bool resolved = false;
+    bool handed_off = false;
     // Fallback scores carry their windowed instance while pending.
     data::EvalInstance instance;
   };
 
-  void Enqueue(Op op);
+  /// Admission + enqueue. On error the op is NOT consumed (score ops are
+  /// failed by the caller through their own promise).
+  Status Enqueue(Op& op);
+  Status ValidateAppend(int64_t poi, double timestamp) const;
+  Status ValidateScore(const std::vector<int64_t>& candidates) const;
   void WorkerLoop();
+  /// Never throws; every score op it receives gets resolved.
   void Process(std::vector<Op> ops);
-  void ServeScore(Op op, std::vector<Op>* pending);
+  void ServeScore(Op& op, std::vector<Op>* pending);
+  void ServeStaleOrExpire(Op& op);
   void FlushFallback(std::vector<Op>* pending);
-  void Fulfil(Op& op, std::vector<float> scores);
+  void Fulfil(Op& op, std::vector<float> scores, bool stale = false);
+  void Fail(Op& op, Status status);
 
   models::SequentialRecommender* model_;
   ServeOptions options_;
@@ -137,6 +240,7 @@ class RecommendService {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable drained_cv_;
+  std::condition_variable space_cv_;
   std::deque<Op> queue_;
   uint64_t enqueued_ops_ = 0;
   uint64_t processed_ops_ = 0;

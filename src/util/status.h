@@ -23,6 +23,12 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  // Serving-runtime outcomes (see src/serve): the service is shutting
+  // down, a per-request deadline expired, or admission control rejected
+  // or shed the request under load.
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -62,6 +68,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

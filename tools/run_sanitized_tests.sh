@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Builds and runs the unit-test suite under ASan and UBSan.
+# Builds and runs the unit-test suite under ASan, UBSan and TSan.
 #
-#   tools/run_sanitized_tests.sh            # both sanitizers
+#   tools/run_sanitized_tests.sh            # all three sanitizers
 #   tools/run_sanitized_tests.sh asan       # one of them
 #
-# Uses the asan/ubsan presets from CMakePresets.json (build trees
-# build-asan/ and build-ubsan/); the matching test presets run the
-# "unit", "robustness", "fused", "obs", "plan" and "serve" labels,
-# skipping the end-to-end CLI/tool smoke tests whose sanitized runtimes
-# are excessive on one core.
+# Uses the asan/ubsan/tsan presets from CMakePresets.json (build trees
+# build-asan/, build-ubsan/ and build-tsan/); the asan/ubsan test presets
+# run the "unit", "robustness", "fused", "obs", "plan" and "serve"
+# labels, skipping the end-to-end CLI/tool smoke tests whose sanitized
+# runtimes are excessive on one core. The tsan preset runs only the
+# concurrency-heavy "serve" and "obs" labels — the memory-safety gates
+# add nothing under TSan and its runtime overhead is the largest.
 #
 # After the unit pass, the "robustness" suite (fault-injection sweeps,
 # checkpoint fuzzing, kill/resume determinism) and the "fused" suite
@@ -19,8 +21,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-presets=("${@:-asan ubsan}")
-[[ $# -eq 0 ]] && presets=(asan ubsan)
+presets=("${@:-asan ubsan tsan}")
+[[ $# -eq 0 ]] && presets=(asan ubsan tsan)
 
 for preset in "${presets[@]}"; do
   echo "==== ${preset}: configure + build ===="
@@ -28,6 +30,13 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "$(nproc)"
   echo "==== ${preset}: ctest (unit) ===="
   ctest --preset "${preset}"
+  if [[ "${preset}" == "tsan" ]]; then
+    # The tsan test preset already covers its whole scope (serve|obs):
+    # worker-thread handoffs, admission blocking/shedding, shutdown
+    # promise sweeps and the lock-free metrics registry. The remaining
+    # gates are memory-safety sweeps; skip them under TSan.
+    continue
+  fi
   echo "==== ${preset}: ctest (robustness gate) ===="
   (cd "build-${preset}" && \
    ASAN_OPTIONS="halt_on_error=1" \

@@ -28,6 +28,26 @@
 //                     trainer CLI) with the serve/* counters and the
 //                     time/serve/request histogram
 //
+// Overload mode (open-loop load sweep against the admission-controlled
+// service; see DESIGN.md §15):
+//
+//   serve_replay --offered-rates 200,500,1000,2000 --duration 2
+//                --deadline-ms 50 --max-queue 256 --policy shed [--stale]
+//                [--overload-json BENCH_serving_overload.json]
+//
+//   --offered-rates R1,R2,..  requests/second per sweep point; the
+//                     producer paces each request on a fixed schedule and
+//                     never waits for responses (open loop), so offered
+//                     load keeps arriving when the service falls behind
+//   --duration S      seconds of offered load per sweep point
+//   --deadline-ms D   per-request deadline (0 = none)
+//   --max-queue N     admission bound on the op queue (0 = unbounded)
+//   --policy P        block | reject | shed (ServeOptions::queue_policy)
+//   --stale           serve expired requests from the resident cached
+//                     prefix instead of failing them
+//   --overload-json F write the sweep (goodput, shed rate, latency
+//                     percentiles per offered rate) as JSON
+//
 // The incremental engine covers STiSAN configurations; the same driver
 // exercises the pure fallback path when --max-seq-len is set below the
 // replayed history lengths.
@@ -38,7 +58,9 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stisan.h"
@@ -65,12 +87,109 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+// One open-loop sweep point: offer `rate` req/s for `duration_s` against a
+// fresh admission-controlled service and classify every response.
+struct OverloadPoint {
+  double offered_rate = 0.0;
+  size_t offered = 0;           // requests actually sent
+  size_t ok = 0;                // scored (fresh or stale) within contract
+  size_t stale = 0;             // subset of ok served from the cached prefix
+  size_t shed_or_rejected = 0;  // kResourceExhausted (admission control)
+  size_t deadline_exceeded = 0;
+  size_t other_errors = 0;      // kInternal / kUnavailable (should be 0)
+  double wall_s = 0.0;
+  double goodput_rps = 0.0;
+  double shed_rate = 0.0;  // (shed_or_rejected + deadline_exceeded) / offered
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+OverloadPoint RunOverloadPoint(core::StisanModel* model,
+                               const serve::ServeOptions& base_options,
+                               const std::vector<ReplayEvent>& events,
+                               const std::vector<int64_t>& cands,
+                               double rate, double duration_s,
+                               int64_t deadline_us) {
+  obs::ResetAllForTesting();
+  serve::ServeOptions so = base_options;
+  so.start_worker = true;
+  serve::RecommendService service(model, so);
+
+  OverloadPoint point;
+  point.offered_rate = rate;
+  const size_t total =
+      static_cast<size_t>(std::max(1.0, rate * duration_s));
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      1.0 / std::max(rate, 1e-9)));
+
+  std::vector<std::future<serve::ScoreResult>> futures;
+  futures.reserve(total);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < total; ++i) {
+    // Open loop: the schedule is fixed in advance; a slow service does
+    // not slow the producer down, it just faces a growing queue. (kBlock
+    // is the exception by design: backpressure pushes back on arrival.)
+    std::this_thread::sleep_until(
+        t0 + period * static_cast<int64_t>(i));
+    const ReplayEvent& ev = events[i % events.size()];
+    (void)service.Append(ev.user, ev.poi, ev.timestamp);
+    futures.push_back(service.ScoreAsync(ev.user, cands, deadline_us));
+  }
+  service.Drain();
+  point.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> ok_latencies;
+  for (auto& fut : futures) {
+    serve::ScoreResult r = fut.get();
+    ++point.offered;
+    if (r.ok()) {
+      ++point.ok;
+      if (r.stale) ++point.stale;
+      ok_latencies.push_back(r.latency_s);
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
+      ++point.shed_or_rejected;
+    } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+      ++point.deadline_exceeded;
+    } else {
+      ++point.other_errors;
+    }
+  }
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  point.goodput_rps =
+      point.wall_s > 0 ? static_cast<double>(point.ok) / point.wall_s : 0.0;
+  point.shed_rate =
+      point.offered > 0
+          ? static_cast<double>(point.shed_or_rejected +
+                                point.deadline_exceeded) /
+                static_cast<double>(point.offered)
+          : 0.0;
+  point.p50_ms = Percentile(ok_latencies, 0.50) * 1e3;
+  point.p99_ms = Percentile(ok_latencies, 0.99) * 1e3;
+  return point;
+}
+
+const char* PolicyName(serve::QueuePolicy policy) {
+  switch (policy) {
+    case serve::QueuePolicy::kBlock: return "block";
+    case serve::QueuePolicy::kRejectNew: return "reject";
+    case serve::QueuePolicy::kShedOldest: return "shed";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string preset = "gowalla";
   std::string metrics_json;
+  std::string overload_json;
+  std::vector<double> offered_rates;
   double scale = 0.08;
+  double duration_s = 2.0;
+  double deadline_ms = 50.0;
   int64_t users = 64;
   int64_t warmup = 3;
   int64_t candidates = 100;
@@ -97,6 +216,32 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--tape") == 0) use_tape = true;
     else if (std::strcmp(argv[i], "--metrics-json") == 0)
       metrics_json = next();
+    else if (std::strcmp(argv[i], "--offered-rates") == 0) {
+      std::stringstream ss(next());
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) offered_rates.push_back(std::atof(tok.c_str()));
+      }
+    }
+    else if (std::strcmp(argv[i], "--duration") == 0)
+      duration_s = std::atof(next());
+    else if (std::strcmp(argv[i], "--deadline-ms") == 0)
+      deadline_ms = std::atof(next());
+    else if (std::strcmp(argv[i], "--max-queue") == 0)
+      so.max_queue = std::atoll(next());
+    else if (std::strcmp(argv[i], "--policy") == 0) {
+      const std::string p = next();
+      if (p == "block") so.queue_policy = serve::QueuePolicy::kBlock;
+      else if (p == "reject") so.queue_policy = serve::QueuePolicy::kRejectNew;
+      else if (p == "shed") so.queue_policy = serve::QueuePolicy::kShedOldest;
+      else {
+        std::fprintf(stderr, "unknown --policy %s\n", p.c_str());
+        return 2;
+      }
+    }
+    else if (std::strcmp(argv[i], "--stale") == 0) so.allow_stale = true;
+    else if (std::strcmp(argv[i], "--overload-json") == 0)
+      overload_json = next();
   }
 
   data::SyntheticConfig cfg;
@@ -138,6 +283,76 @@ int main(int argc, char** argv) {
                                 static_cast<uint64_t>(dataset.num_pois())));
     if (std::find(cands.begin(), cands.end(), poi) == cands.end())
       cands.push_back(poi);
+  }
+
+  so.num_pois = dataset.num_pois();
+
+  if (!offered_rates.empty()) {
+    // Open-loop overload sweep: fresh service + obs registry per offered
+    // rate, classify every response, report goodput vs offered load.
+    const int64_t deadline_us = static_cast<int64_t>(deadline_ms * 1e3);
+    std::printf(
+        "serve_replay overload: %zu rates, %.1f s/point, deadline %.1f ms, "
+        "max_queue %lld, policy %s, stale %s\n",
+        offered_rates.size(), duration_s, deadline_ms,
+        static_cast<long long>(so.max_queue), PolicyName(so.queue_policy),
+        so.allow_stale ? "on" : "off");
+    std::printf(
+        "%10s %9s %9s %7s %7s %9s %9s %9s %9s %9s\n", "offered/s", "sent",
+        "ok", "stale", "shed", "deadline", "goodput/s", "shedrate", "p50ms",
+        "p99ms");
+    std::vector<OverloadPoint> sweep;
+    for (double rate : offered_rates) {
+      OverloadPoint pt = RunOverloadPoint(&model, so, timed, cands, rate,
+                                          duration_s, deadline_us);
+      std::printf(
+          "%10.0f %9zu %9zu %7zu %7zu %9zu %9.1f %9.3f %9.3f %9.3f\n",
+          pt.offered_rate, pt.offered, pt.ok, pt.stale, pt.shed_or_rejected,
+          pt.deadline_exceeded, pt.goodput_rps, pt.shed_rate, pt.p50_ms,
+          pt.p99_ms);
+      if (pt.other_errors > 0) {
+        std::fprintf(stderr,
+                     "warning: %zu unexpected errors at %.0f req/s\n",
+                     pt.other_errors, rate);
+      }
+      sweep.push_back(pt);
+    }
+    if (!overload_json.empty()) {
+      std::ostringstream out;
+      out << "{\n  \"tool\": \"serve_replay\",\n  \"mode\": \"overload\",\n";
+      out << "  \"preset\": \"" << preset << "\",\n";
+      out << "  \"duration_s\": " << duration_s << ",\n";
+      out << "  \"deadline_ms\": " << deadline_ms << ",\n";
+      out << "  \"max_queue\": " << so.max_queue << ",\n";
+      out << "  \"policy\": \"" << PolicyName(so.queue_policy) << "\",\n";
+      out << "  \"allow_stale\": " << (so.allow_stale ? "true" : "false")
+          << ",\n  \"sweep\": [\n";
+      for (size_t i = 0; i < sweep.size(); ++i) {
+        const OverloadPoint& pt = sweep[i];
+        out << "    {\"offered_rate\": " << pt.offered_rate
+            << ", \"offered\": " << pt.offered << ", \"ok\": " << pt.ok
+            << ", \"stale_served\": " << pt.stale
+            << ", \"shed_or_rejected\": " << pt.shed_or_rejected
+            << ", \"deadline_exceeded\": " << pt.deadline_exceeded
+            << ", \"other_errors\": " << pt.other_errors
+            << ", \"wall_s\": " << pt.wall_s
+            << ", \"goodput_rps\": " << pt.goodput_rps
+            << ", \"shed_rate\": " << pt.shed_rate
+            << ", \"p50_ms\": " << pt.p50_ms
+            << ", \"p99_ms\": " << pt.p99_ms << "}"
+            << (i + 1 < sweep.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n}\n";
+      const Status s =
+          WriteFileAtomic(Env::Default(), overload_json, out.str());
+      if (!s.ok()) {
+        std::fprintf(stderr, "error writing %s: %s\n", overload_json.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("overload sweep written to %s\n", overload_json.c_str());
+    }
+    return 0;
   }
 
   serve::RecommendService service(&model, so);
