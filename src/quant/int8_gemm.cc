@@ -1,0 +1,166 @@
+#include "quant/int8_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) || defined(__amd64__)
+#define STISAN_QUANT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace stisan::quant {
+
+namespace {
+
+int32_t DotInt8Scalar(const int8_t* a, const int8_t* b, int64_t k) {
+  int32_t acc = 0;
+  for (int64_t i = 0; i < k; ++i)
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  return acc;
+}
+
+#if STISAN_QUANT_X86
+
+#define STISAN_AVX2 __attribute__((target("avx2")))
+
+STISAN_AVX2 inline int32_t ReduceAddI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Widen int8 -> int16, multiply-accumulate adjacent pairs into int32 lanes
+// (madd_epi16 cannot overflow: |a·b| <= 127², and pair sums fit easily).
+STISAN_AVX2 int32_t DotInt8Avx2(const int8_t* a, const int8_t* b, int64_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  int32_t s = ReduceAddI32(acc);
+  for (; i < k; ++i)
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  return s;
+}
+
+// One row of the dynamic activation quantization: amax reduce, then
+// x * (127/amax) rounded to nearest-even and clamped. cvtps_epi32 rounds
+// to nearest-even under the default MXCSR mode — the same rule as the
+// scalar path's nearbyintf — and max() is rounding-free, so the AVX2 and
+// scalar quantizers produce bit-identical codes and scales.
+STISAN_AVX2 void QuantizeRowAvx2(const float* xr, int8_t* qr, float* scale,
+                                 int64_t k) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  __m256 vmax = _mm256_setzero_ps();
+  int64_t j = 0;
+  for (; j + 8 <= k; j += 8)
+    vmax = _mm256_max_ps(vmax,
+                         _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(xr + j)));
+  float amax = 0.0f;
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  for (float lane : lanes) amax = std::max(amax, lane);
+  for (; j < k; ++j) amax = std::max(amax, std::fabs(xr[j]));
+
+  if (amax == 0.0f) {
+    *scale = 1.0f;
+    std::fill(qr, qr + k, int8_t{0});
+    return;
+  }
+  *scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i vlo = _mm256_set1_epi32(-127);
+  const __m256i vhi = _mm256_set1_epi32(127);
+  for (j = 0; j + 8 <= k; j += 8) {
+    __m256i vi = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(xr + j),
+                                                  vinv));
+    vi = _mm256_max_epi32(vlo, _mm256_min_epi32(vhi, vi));
+    // 8 x int32 -> 8 x int8 (saturating packs stay exact: values are
+    // already clamped to [-127, 127]).
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(vi),
+                                        _mm256_extracti128_si256(vi, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(qr + j), p8);
+  }
+  for (; j < k; ++j) {
+    const float v = std::nearbyintf(xr[j] * inv);
+    qr[j] = static_cast<int8_t>(std::min(127.0f, std::max(-127.0f, v)));
+  }
+}
+
+bool HasAvx2() {
+  static const bool has = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return has;
+}
+
+#endif  // STISAN_QUANT_X86
+
+}  // namespace
+
+int32_t DotInt8(const int8_t* a, const int8_t* b, int64_t k) {
+#if STISAN_QUANT_X86
+  if (HasAvx2()) return DotInt8Avx2(a, b, k);
+#endif
+  return DotInt8Scalar(a, b, k);
+}
+
+void QuantizeRowsSymmetric(const float* x, int8_t* q, float* scales,
+                           int64_t rows, int64_t k) {
+#if STISAN_QUANT_X86
+  if (HasAvx2()) {
+    for (int64_t r = 0; r < rows; ++r)
+      QuantizeRowAvx2(x + r * k, q + r * k, scales + r, k);
+    return;
+  }
+#endif
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * k;
+    float amax = 0.0f;
+    for (int64_t j = 0; j < k; ++j) amax = std::max(amax, std::fabs(xr[j]));
+    if (amax == 0.0f) {
+      scales[r] = 1.0f;
+      std::fill(q + r * k, q + (r + 1) * k, int8_t{0});
+      continue;
+    }
+    const float scale = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    scales[r] = scale;
+    int8_t* qr = q + r * k;
+    for (int64_t j = 0; j < k; ++j) {
+      const float v = std::nearbyintf(xr[j] * inv);
+      qr[j] = static_cast<int8_t>(
+          std::min(127.0f, std::max(-127.0f, v)));
+    }
+  }
+}
+
+void Int8GemmDequant(const int8_t* aq, const float* a_scale, const int8_t* bq,
+                     const float* b_scale, float* c, int64_t m, int64_t k,
+                     int64_t n) {
+  kernels::ParallelRanges(m, k * n, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int8_t* arow = aq + i * k;
+      const float as = a_scale[i];
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const int32_t acc = DotInt8(arow, bq + j * k, k);
+        crow[j] = static_cast<float>(acc) * (as * b_scale[j]);
+      }
+    }
+  });
+}
+
+}  // namespace stisan::quant

@@ -1,0 +1,38 @@
+// Low-level int8 kernels for the post-training quantization path.
+//
+// Quantization scheme (see DESIGN.md §16):
+//   - weights: symmetric per-output-channel int8. A fp32 Linear weight
+//     [k, n] is stored transposed as int8 [n, k] with one fp32 scale per
+//     output column j: w_scale[j] = max_i |W[i,j]| / 127.
+//   - activations: dynamic symmetric per-row int8, quantized on the fly:
+//     a_scale[i] = max_j |A[i,j]| / 127 (1.0 for all-zero rows).
+//   - accumulation: int32 (k * 127 * 127 stays far below 2^31 for every
+//     model shape here), dequantized as acc * (a_scale[i] * w_scale[j]).
+// Rounding is round-to-nearest-even (std::nearbyintf under the default FP
+// environment / _mm256_cvtps_epi32), clamped to [-127, 127].
+
+#pragma once
+
+#include <cstdint>
+
+namespace stisan::quant {
+
+/// Quantizes a dense fp32 block [rows, k] row-wise into q (int8, same
+/// layout) and scales[rows]. All-zero rows get scale 1.0 and all-zero q.
+void QuantizeRowsSymmetric(const float* x, int8_t* q, float* scales,
+                           int64_t rows, int64_t k);
+
+/// Int32 dot product of two int8 vectors (AVX2 when available at runtime).
+/// Exposed for tests; the accumulation is exact, so the SIMD and scalar
+/// versions agree bit-for-bit.
+int32_t DotInt8(const int8_t* a, const int8_t* b, int64_t k);
+
+/// C[i,j] = (a_scale[i] * b_scale[j]) * Σ_p aq[i,p]·bq[j,p], with aq
+/// [m,k] and bq [n,k] (the pre-transposed weight). Parallel over rows of C
+/// through the kernel thread pool; deterministic for any thread count
+/// (integer accumulation is exact, so even lane order cannot matter).
+void Int8GemmDequant(const int8_t* aq, const float* a_scale, const int8_t* bq,
+                     const float* b_scale, float* c, int64_t m, int64_t k,
+                     int64_t n);
+
+}  // namespace stisan::quant

@@ -1,0 +1,151 @@
+#include "quant/quant.h"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "quant/int8_gemm.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace stisan::quant {
+
+namespace {
+
+// Registered weights, keyed by the fp32 parameter's storage pointer (stable
+// for a frozen model: Storage is refcounted and never reallocated). Reads
+// are on the scoring hot path; writes only happen at model load/unload.
+std::shared_mutex g_registry_mu;
+std::unordered_map<const float*, const QuantizedWeight*> g_registry;
+
+thread_local bool tl_int8_enabled = false;
+
+const QuantizedWeight* FindRegistered(const float* key) {
+  std::shared_lock<std::shared_mutex> lock(g_registry_mu);
+  const auto it = g_registry.find(key);
+  return it == g_registry.end() ? nullptr : it->second;
+}
+
+bool GemmHook(const float* a, const float* weight_key, float* c, int64_t m,
+              int64_t k, int64_t n) {
+  if (!tl_int8_enabled || internal::GradEnabled()) return false;
+  const QuantizedWeight* qw = FindRegistered(weight_key);
+  if (qw == nullptr || qw->rows != k || qw->cols != n) return false;
+  // Dynamic per-row activation quantization into thread-local scratch (the
+  // hook runs on the op's calling thread before the kernel fans out).
+  thread_local std::vector<int8_t> aq;
+  thread_local std::vector<float> a_scale;
+  aq.resize(static_cast<size_t>(m * k));
+  a_scale.resize(static_cast<size_t>(m));
+  QuantizeRowsSymmetric(a, aq.data(), a_scale.data(), m, k);
+  Int8GemmDequant(aq.data(), a_scale.data(), qw->gemm_q.data(),
+                  qw->gemm_scale.data(), c, m, k, n);
+  static obs::Counter& gemms = obs::GetCounter("quant/int8_gemms");
+  gemms.Inc();
+  return true;
+}
+
+bool GatherHook(const float* weight_key, const int64_t* ids, float* out,
+                int64_t n, int64_t d, int64_t padding_idx) {
+  if (!tl_int8_enabled || internal::GradEnabled()) return false;
+  const QuantizedWeight* qw = FindRegistered(weight_key);
+  if (qw == nullptr || qw->cols != d) return false;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = ids[i];
+    float* orow = out + i * d;
+    if (id == padding_idx) {
+      std::fill(orow, orow + d, 0.0f);
+      continue;
+    }
+    const int8_t* qr = qw->row_q.data() + id * d;
+    const float s = qw->row_scale[static_cast<size_t>(id)];
+    for (int64_t j = 0; j < d; ++j)
+      orow[j] = s * static_cast<float>(qr[j]);
+  }
+  static obs::Counter& gathers = obs::GetCounter("quant/int8_gathers");
+  gathers.Inc();
+  return true;
+}
+
+void EnsureHooksInstalled() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ops::SetInt8GemmHook(&GemmHook);
+    ops::SetInt8GatherHook(&GatherHook);
+  });
+}
+
+std::unique_ptr<QuantizedWeight> QuantizeParam(const float* w, int64_t rows,
+                                               int64_t cols) {
+  auto qw = std::make_unique<QuantizedWeight>();
+  qw->rows = rows;
+  qw->cols = cols;
+  // Per-row form: direct row-wise pass over the fp32 layout.
+  qw->row_q.resize(static_cast<size_t>(rows * cols));
+  qw->row_scale.resize(static_cast<size_t>(rows));
+  QuantizeRowsSymmetric(w, qw->row_q.data(), qw->row_scale.data(), rows,
+                        cols);
+  // GEMM form: transpose to [cols, rows] first so per-output-channel
+  // quantization is again a row-wise pass, and GEMM dots are contiguous.
+  std::vector<float> wt(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i)
+    for (int64_t j = 0; j < cols; ++j) wt[j * rows + i] = w[i * cols + j];
+  qw->gemm_q.resize(static_cast<size_t>(rows * cols));
+  qw->gemm_scale.resize(static_cast<size_t>(cols));
+  QuantizeRowsSymmetric(wt.data(), qw->gemm_q.data(), qw->gemm_scale.data(),
+                        cols, rows);
+  return qw;
+}
+
+}  // namespace
+
+QuantizedModel::QuantizedModel(const nn::Module& module, int64_t min_numel) {
+  EnsureHooksInstalled();
+  for (const Tensor& p : module.Parameters()) {
+    if (!p.defined() || p.dim() != 2 || p.numel() < min_numel) continue;
+    const float* key = p.data();
+    auto qw = QuantizeParam(key, p.size(0), p.size(1));
+    weights_.emplace_back(key, std::move(qw));
+  }
+  std::unique_lock<std::shared_mutex> lock(g_registry_mu);
+  for (const auto& [key, qw] : weights_) g_registry[key] = qw.get();
+}
+
+QuantizedModel::~QuantizedModel() {
+  std::unique_lock<std::shared_mutex> lock(g_registry_mu);
+  for (const auto& [key, qw] : weights_) {
+    const auto it = g_registry.find(key);
+    if (it != g_registry.end() && it->second == qw.get()) g_registry.erase(it);
+  }
+}
+
+int64_t QuantizedModel::int8_bytes() const {
+  int64_t total = 0;
+  for (const auto& [key, qw] : weights_) {
+    total += static_cast<int64_t>(qw->gemm_q.size() + qw->row_q.size());
+    total += static_cast<int64_t>(
+        (qw->gemm_scale.size() + qw->row_scale.size()) * sizeof(float));
+  }
+  return total;
+}
+
+int64_t QuantizedModel::fp32_bytes() const {
+  int64_t total = 0;
+  for (const auto& [key, qw] : weights_)
+    total += qw->rows * qw->cols * static_cast<int64_t>(sizeof(float));
+  return total;
+}
+
+const QuantizedWeight* QuantizedModel::Find(const float* key) {
+  return FindRegistered(key);
+}
+
+bool Int8Enabled() { return tl_int8_enabled; }
+
+ScopedInt8::ScopedInt8() : prev_(tl_int8_enabled) { tl_int8_enabled = true; }
+
+ScopedInt8::~ScopedInt8() { tl_int8_enabled = prev_; }
+
+}  // namespace stisan::quant

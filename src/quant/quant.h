@@ -1,0 +1,114 @@
+// Post-training int8 quantization for frozen models.
+//
+// QuantizedModel snapshots every eligible 2-D parameter of a trained
+// nn::Module into two int8 forms — symmetric per-output-channel weights
+// (stored transposed) for GEMM use, and symmetric per-row form for
+// embedding gathers — and registers the originals' storage pointers with
+// the ops-layer int8 hooks (ops::SetInt8GemmHook / SetInt8GatherHook).
+//
+// Scoring then opts in per call site with ScopedInt8 (a thread-local flag):
+// while it is active and gradients are disabled, every Linear forward whose
+// weight is registered runs as dynamic-activation-quantized int8 GEMM with
+// int32 accumulation, and every EmbeddingLookup on a registered table
+// dequantizes int8 rows. Everything else (attention score/value products,
+// softmax, layernorm, bias adds) stays fp32, so accuracy loss is bounded by
+// the weight/activation rounding alone — the same recipe as dynamic
+// quantization in mainstream frameworks. Training and gradcheck are
+// untouched: the hooks decline whenever gradient recording is on.
+//
+// Scores under int8 are deterministic (integer accumulation is exact;
+// per-row activation scales depend only on row contents), so the serving
+// runtime's incremental-vs-full bit-identity holds within the int8 path,
+// but int8 scores are NOT bit-identical to fp32 scores — validation is by
+// elementwise tolerance and golden HR/NDCG deltas (see tests/quant_test).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "eval/batch_scorer.h"
+#include "nn/module.h"
+
+namespace stisan::quant {
+
+/// One quantized parameter (both layouts share the fp32 source [rows,cols]).
+struct QuantizedWeight {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> gemm_q;     // [cols, rows]: transposed, contiguous dots
+  std::vector<float> gemm_scale;  // [cols] per-output-channel
+  std::vector<int8_t> row_q;      // [rows, cols]: embedding-gather layout
+  std::vector<float> row_scale;   // [rows]
+};
+
+/// Quantizes a module's 2-D parameters and registers them for the int8
+/// hooks. The module must outlive this object and its parameters must stay
+/// frozen (re-training after quantization leaves the int8 copies stale).
+/// Destruction deregisters the weights; hook installation itself is sticky
+/// and costs two null checks per MatMul when no model is registered.
+class QuantizedModel {
+ public:
+  /// Parameters with fewer than `min_numel` elements (or not 2-D) stay
+  /// fp32 — tiny projections don't pay for the quantize/dequantize round
+  /// trip.
+  explicit QuantizedModel(const nn::Module& module, int64_t min_numel = 64);
+  ~QuantizedModel();
+
+  QuantizedModel(const QuantizedModel&) = delete;
+  QuantizedModel& operator=(const QuantizedModel&) = delete;
+
+  int64_t num_weights() const { return static_cast<int64_t>(weights_.size()); }
+  /// Bytes held by the int8 copies vs their fp32 sources (both layouts
+  /// counted — the quantized model trades 2x int8 residency for the GEMM
+  /// and gather layouts).
+  int64_t int8_bytes() const;
+  int64_t fp32_bytes() const;
+
+  /// Lookup by fp32 storage pointer; nullptr when not registered. Exposed
+  /// for tests.
+  static const QuantizedWeight* Find(const float* key);
+
+ private:
+  std::vector<std::pair<const float*, std::unique_ptr<QuantizedWeight>>>
+      weights_;
+};
+
+/// True while the calling thread has an active ScopedInt8.
+bool Int8Enabled();
+
+/// RAII opt-in: int8 scoring on this thread for the guard's lifetime.
+/// Nestable; restores the previous state on destruction. Worker threads
+/// spawned by the kernel pool inherit nothing — the hooks run on the thread
+/// that entered the op, before the kernel fans out, so this is sufficient.
+class ScopedInt8 {
+ public:
+  ScopedInt8();
+  ~ScopedInt8();
+  ScopedInt8(const ScopedInt8&) = delete;
+  ScopedInt8& operator=(const ScopedInt8&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// eval::BatchScorer adapter: scores through `inner` with int8 active.
+/// Wrap any model's scorer to run the evaluation pipeline quantized.
+class Int8BatchScorer : public eval::BatchScorer {
+ public:
+  explicit Int8BatchScorer(eval::BatchScorer* inner) : inner_(inner) {}
+
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override {
+    ScopedInt8 on;
+    return inner_->ScoreBatch(instances, candidates);
+  }
+
+ private:
+  eval::BatchScorer* inner_;
+};
+
+}  // namespace stisan::quant

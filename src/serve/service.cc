@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "core/stisan.h"
+#include "nn/module.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "util/check.h"
 
 namespace stisan::serve {
@@ -65,6 +68,11 @@ RecommendService::RecommendService(models::SequentialRecommender* model,
   if (auto* stisan = dynamic_cast<core::StisanModel*>(model)) {
     engine_ = std::make_unique<core::IncrementalScorer>(stisan,
                                                         options_.max_seq_len);
+  }
+  if (options_.use_int8) {
+    if (auto* module = dynamic_cast<nn::Module*>(model)) {
+      quant_model_ = std::make_unique<quant::QuantizedModel>(*module);
+    }
   }
   if (options_.start_worker) {
     worker_ = std::thread([this] { WorkerLoop(); });
@@ -467,6 +475,11 @@ void RecommendService::ServeScore(Op& op, std::vector<Op>* pending) {
 }
 
 void RecommendService::Process(std::vector<Op> ops) {
+  // All scoring paths below (incremental, fallback batch, stale serves,
+  // and the cache syncs that feed them) run on this thread, so one scoped
+  // flag quantizes the whole service when opted in.
+  std::optional<quant::ScopedInt8> int8_guard;
+  if (quant_model_ != nullptr) int8_guard.emplace();
   ServeMetrics& m = Metrics();
   if (options_.fault_injector != nullptr) {
     options_.fault_injector->OnBatchDequeued();

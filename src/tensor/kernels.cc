@@ -1,6 +1,7 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tensor/kernels_simd.h"
 
 namespace stisan::kernels {
 
@@ -69,6 +71,29 @@ void SetNumThreads(int64_t threads) {
   GlobalPool();  // ensure initialised so the swap below is the only writer
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+namespace {
+// -1 = follow STISAN_SIMD (default on), 0/1 = forced by tests/tools.
+std::atomic<int> g_simd_override{-1};
+}  // namespace
+
+bool SimdEnabled() {
+  const int ov = g_simd_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0 && simd::Available();
+  static const bool env_on = [] {
+    const char* v = std::getenv("STISAN_SIMD");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return env_on && simd::Available();
+}
+
+const char* SimdBackendName() {
+  return SimdEnabled() ? simd::Name() : "scalar";
+}
+
+void SetSimdEnabledForTesting(int enabled) {
+  g_simd_override.store(enabled, std::memory_order_relaxed);
 }
 
 void ParallelRanges(int64_t n, int64_t cost_per_item,
@@ -157,8 +182,13 @@ void GemmRowRange(const float* a, const float* b, float* c, int64_t m,
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool ta, bool tb, bool accumulate) {
+  const bool use_simd = SimdEnabled();
   ParallelRanges(m, k * n, [&](int64_t i0, int64_t i1) {
-    GemmRowRange(a, b, c, m, k, n, ta, tb, accumulate, i0, i1);
+    if (use_simd) {
+      simd::GemmRowRange(a, b, c, m, k, n, ta, tb, accumulate, i0, i1);
+    } else {
+      GemmRowRange(a, b, c, m, k, n, ta, tb, accumulate, i0, i1);
+    }
   });
 }
 
@@ -166,16 +196,27 @@ void BatchedGemm(const float* a, const float* b, float* c, int64_t batch,
                  int64_t m, int64_t k, int64_t n, bool ta, bool tb,
                  bool accumulate) {
   const int64_t sza = m * k, szb = k * n, szc = m * n;
+  const bool use_simd = SimdEnabled();
   ParallelRanges(batch, m * k * n, [&](int64_t t0, int64_t t1) {
     for (int64_t t = t0; t < t1; ++t) {
-      GemmRowRange(a + t * sza, b + t * szb, c + t * szc, m, k, n, ta, tb,
-                   accumulate, 0, m);
+      if (use_simd) {
+        simd::GemmRowRange(a + t * sza, b + t * szb, c + t * szc, m, k, n, ta,
+                           tb, accumulate, 0, m);
+      } else {
+        GemmRowRange(a + t * sza, b + t * szb, c + t * szc, m, k, n, ta, tb,
+                     accumulate, 0, m);
+      }
     }
   });
 }
 
 void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t d) {
+  const bool use_simd = SimdEnabled();
   ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    if (use_simd) {
+      simd::SoftmaxRowRange(x, y, d, r0, r1);
+      return;
+    }
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * d;
       float* yr = y + r * d;
@@ -207,7 +248,12 @@ void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
 }
 
 void LogSoftmaxRows(const float* x, float* y, int64_t rows, int64_t d) {
+  const bool use_simd = SimdEnabled();
   ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    if (use_simd) {
+      simd::LogSoftmaxRowRange(x, y, d, r0, r1);
+      return;
+    }
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * d;
       float* yr = y + r * d;
@@ -239,7 +285,13 @@ void LogSoftmaxBackwardRows(const float* y, const float* gy, float* gx,
 void LayerNormRows(const float* x, const float* gamma, const float* beta,
                    float* y, float* mu, float* inv_sigma, int64_t rows,
                    int64_t d, float eps) {
+  const bool use_simd = SimdEnabled();
   ParallelRanges(rows, d, [&](int64_t r0, int64_t r1) {
+    if (use_simd) {
+      simd::LayerNormRowRange(x, gamma, beta, y, mu, inv_sigma, d, eps, r0,
+                              r1);
+      return;
+    }
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * d;
       float m = 0.0f;
@@ -281,6 +333,7 @@ void FusedAttentionForward(const float* q, const float* k, const float* v,
                            int64_t n, int64_t d, bool causal, float scale,
                            bool bias_broadcast) {
   const int64_t rows = batch * m;
+  const bool use_simd = SimdEnabled();
   ParallelRanges(rows, n * (2 * d + 4), [&](int64_t t0, int64_t t1) {
     // Inference reuses one scratch row per chunk instead of saving probs.
     std::vector<float> scratch;
@@ -295,6 +348,12 @@ void FusedAttentionForward(const float* q, const float* k, const float* v,
       const float* brow =
           bias == nullptr ? nullptr : bias + (bias_broadcast ? r * n : t * n);
       float* prow = probs != nullptr ? probs + t * n : scratch.data();
+      const float* mrow = drop_mask == nullptr ? nullptr : drop_mask + t * n;
+      if (use_simd) {
+        simd::AttentionRow(qrow, kblk, vblk, brow, mrow, prow, out + t * d,
+                           bound, d, scale);
+        continue;
+      }
       // Logits: per element the exact accumulation order of the transposed
       // GEMM (ascending inner dim), then · scale, then + bias.
       for (int64_t j = 0; j < bound; ++j) {
@@ -321,7 +380,6 @@ void FusedAttentionForward(const float* q, const float* k, const float* v,
       // GemmRowRange (so dropped columns cost nothing).
       float* orow = out + t * d;
       std::fill(orow, orow + d, 0.0f);
-      const float* mrow = drop_mask == nullptr ? nullptr : drop_mask + t * n;
       for (int64_t j = 0; j < bound; ++j) {
         float av = prow[j];
         if (mrow != nullptr) av *= mrow[j];

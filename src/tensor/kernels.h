@@ -43,6 +43,33 @@ int64_t NumThreads();
 /// to call while kernels are executing on other threads.
 void SetNumThreads(int64_t threads);
 
+// ---- SIMD backend selection ------------------------------------------------
+//
+// The forward hot kernels (Gemm, BatchedGemm, SoftmaxRows, LogSoftmaxRows,
+// LayerNormRows, FusedAttentionForward) have explicitly vectorized
+// implementations in kernels_simd.cc (AVX2+FMA via runtime CPU detection on
+// x86-64, NEON on aarch64). They are ON by default when the CPU supports
+// them; STISAN_SIMD=0 is the kill switch. Backward kernels always run the
+// scalar reference — the scalar path stays the bit-exactness baseline for
+// training and gradcheck, and the golden-metrics harness pins it explicitly.
+//
+// The vector kernels keep the determinism contract above (each output
+// element's reduction order depends only on the reduction length, never on
+// thread partitioning), so incremental-vs-full serving identity, batched-vs-
+// single eval identity, and thread-count determinism all survive SIMD. They
+// are NOT bit-identical to the scalar kernels, and fused-vs-composed
+// attention equivalence holds only under the scalar backend.
+
+/// True when the next kernel call will take the vector path.
+bool SimdEnabled();
+
+/// "avx2", "neon", or "scalar" — the backend the next kernel call uses.
+const char* SimdBackendName();
+
+/// Override for tests/tools: 1 forces the vector path (if the CPU has one),
+/// 0 forces scalar, -1 restores the STISAN_SIMD env-var default.
+void SetSimdEnabledForTesting(int enabled);
+
 /// Runs fn(begin, end) over a partition of [0, n). Splits across the pool
 /// when n * cost_per_item >= ParallelMinWork() and more than one worker is
 /// available; otherwise calls fn(0, n) inline. Safe to call from inside a

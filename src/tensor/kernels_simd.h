@@ -1,0 +1,60 @@
+// Vectorized kernel backend (internal to src/tensor and benchmarks).
+//
+// Explicit SIMD implementations of the hot forward kernels: AVX2+FMA on
+// x86-64 (selected by runtime CPU detection) and NEON on aarch64. The
+// scalar loops in kernels.cc remain the bit-exactness reference; dispatch
+// between the two lives in kernels.cc behind kernels::SimdEnabled()
+// (STISAN_SIMD=0 kill switch).
+//
+// Determinism contract (same as the scalar backend): the reduction order of
+// every output element depends only on the reduction length and absolute
+// element positions — 8-lane partial sums over [0, 8*(k/8)) plus a scalar
+// tail — never on how rows were partitioned across threads. So incremental
+// vs full scoring, batched vs single eval, and any-thread-count runs stay
+// bit-identical to each other under SIMD. What is NOT promised under SIMD:
+// bit-identity to the scalar backend (FMA + lane-parallel partial sums round
+// differently), and fused-vs-composed attention equivalence (the composed
+// path's full-row softmax sums masked exp-underflow terms lane-wise).
+
+#pragma once
+
+#include <cstdint>
+
+namespace stisan::kernels::simd {
+
+/// True when a vector backend exists for this CPU (AVX2+FMA detected at
+/// runtime on x86-64, or compiled for aarch64). Cached after the first call.
+bool Available();
+
+/// "avx2" or "neon". Meaningful only when Available().
+const char* Name();
+
+/// Row-range GEMM, same semantics as the scalar GemmRowRange in kernels.cc:
+/// C[i0:i1, :] (+)= A x B, A [m,k] (or [k,m] when ta), B [k,n] ([n,k] when
+/// tb). The doubly-transposed (ta && tb) variant stays scalar — nothing in
+/// the model emits it on a hot path.
+void GemmRowRange(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool ta, bool tb, bool accumulate,
+                  int64_t i0, int64_t i1);
+
+/// y[r,:] = softmax(x[r,:]) for r in [r0, r1). x may alias y.
+void SoftmaxRowRange(const float* x, float* y, int64_t d, int64_t r0,
+                     int64_t r1);
+
+/// y[r,:] = log-softmax(x[r,:]) for r in [r0, r1).
+void LogSoftmaxRowRange(const float* x, float* y, int64_t d, int64_t r0,
+                        int64_t r1);
+
+/// Layer norm rows [r0, r1); writes y plus per-row mu / inv_sigma.
+void LayerNormRowRange(const float* x, const float* gamma, const float* beta,
+                       float* y, float* mu, float* inv_sigma, int64_t d,
+                       float eps, int64_t r0, int64_t r1);
+
+/// One query row of fused attention: logits = qrow · K[j,:] * scale (+
+/// brow[j]) for j < bound, bounded softmax into prow, then orow =
+/// probs (· mrow) @ V. prow must hold at least `bound` floats.
+void AttentionRow(const float* qrow, const float* kblk, const float* vblk,
+                  const float* brow, const float* mrow, float* prow,
+                  float* orow, int64_t bound, int64_t d, float scale);
+
+}  // namespace stisan::kernels::simd

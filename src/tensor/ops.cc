@@ -17,6 +17,10 @@ namespace {
 using internal::TensorImpl;
 using internal::TensorImplPtr;
 
+// Int8 inference hooks, installed once by the quant subsystem (see ops.h).
+std::atomic<Int8GemmHook> g_int8_gemm_hook{nullptr};
+std::atomic<Int8GatherHook> g_int8_gather_hook{nullptr};
+
 // Creates a result node wired to its parents. The backward function is only
 // attached when grad recording is on and at least one parent needs grads.
 // The node owns fresh dense storage.
@@ -505,7 +509,7 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
 
     const Tensor b = Contiguous(b_in);
     auto bi = b.impl();
-    Tensor out =
+    Tensor out2d =
         MakeNode("matmul", {m, n}, {ai, bi},
                  [ai, bi, m, k, n](TensorImpl& self) {
           if (ai->requires_grad) {
@@ -519,9 +523,17 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
                           false, true);  // dB = A^T x G
           }
         });
-    kernels::Gemm(ai->Data(), bi->Data(), out.data(), m, k, n, false, false,
-                  false);
-    return out;
+    // Int8 path: when the quant subsystem has registered b's storage as a
+    // frozen weight and int8 scoring is active, the hook computes the
+    // (dequantized) product itself and the fp32 GEMM is skipped.
+    const Int8GemmHook gemm_hook =
+        g_int8_gemm_hook.load(std::memory_order_acquire);
+    if (gemm_hook == nullptr ||
+        !gemm_hook(ai->Data(), bi->Data(), out2d.data(), m, k, n)) {
+      kernels::Gemm(ai->Data(), bi->Data(), out2d.data(), m, k, n, false,
+                    false, false);
+    }
+    return out2d;
   }
 
   if (sa.size() == 3 && sb.size() == 3) {
@@ -1026,8 +1038,14 @@ Tensor EmbeddingLookup(const Tensor& weight_in,
           for (int64_t j = 0; j < d; ++j) wrow[j] += g[j];
         }
       });
-  kernels::GatherRows(weight.data(), ids_copy->data(), out.data(), n, d,
-                      padding_idx);
+  const Int8GatherHook gather_hook =
+      g_int8_gather_hook.load(std::memory_order_acquire);
+  if (gather_hook == nullptr ||
+      !gather_hook(wi->Data(), ids_copy->data(), out.data(), n, d,
+                   padding_idx)) {
+    kernels::GatherRows(weight.data(), ids_copy->data(), out.data(), n, d,
+                        padding_idx);
+  }
   return out;
 }
 
@@ -1083,6 +1101,14 @@ bool FusedAttentionEnabled() {
 
 void SetFusedAttentionEnabled(int value) {
   g_fused_attention_override.store(value, std::memory_order_relaxed);
+}
+
+void SetInt8GemmHook(Int8GemmHook hook) {
+  g_int8_gemm_hook.store(hook, std::memory_order_release);
+}
+
+void SetInt8GatherHook(Int8GatherHook hook) {
+  g_int8_gather_hook.store(hook, std::memory_order_release);
 }
 
 Tensor FusedAttention(const Tensor& q_in, const Tensor& k_in,

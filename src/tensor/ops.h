@@ -190,6 +190,30 @@ Tensor FusedResidualLayerNorm(const Tensor& x, const Tensor& r,
                               const Tensor& gamma, const Tensor& beta,
                               float eps);
 
+// ---- Int8 inference hooks ---------------------------------------------------
+//
+// The post-training quantization subsystem (src/quant) installs these to
+// intercept inference-time work on registered frozen weights. MatMul's plain
+// 2-D path (which every Linear forward lowers to, including batched [B,n,d]
+// forwards flattened to 2-D) offers the hook its weight operand's storage
+// pointer; EmbeddingLookup does the same for gathers. A hook returns true
+// when it recognised the pointer and wrote the output itself — the fp32
+// kernel is skipped. Hooks must be deterministic, must not build autograd
+// state, and are expected to decline (return false) while gradients are
+// enabled. Keeping the indirection here (function pointers set at runtime)
+// means the tensor core never depends on the quant library.
+
+using Int8GemmHook = bool (*)(const float* a, const float* weight_key,
+                              float* c, int64_t m, int64_t k, int64_t n);
+using Int8GatherHook = bool (*)(const float* weight_key, const int64_t* ids,
+                                float* out, int64_t n, int64_t d,
+                                int64_t padding_idx);
+
+/// Installs (or clears, with nullptr) the hooks. Not thread-safe against
+/// concurrent forwards; install once at startup before serving.
+void SetInt8GemmHook(Int8GemmHook hook);
+void SetInt8GatherHook(Int8GatherHook hook);
+
 // ---- Convenience -----------------------------------------------------------------
 
 /// Scalar loss helpers used by training code.

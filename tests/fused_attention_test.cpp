@@ -39,6 +39,17 @@ class ScopedFused {
   ~ScopedFused() { ops::SetFusedAttentionEnabled(-1); }
 };
 
+// Pins the scalar reference kernels. Fused-vs-composed bit-equivalence is
+// only promised under the scalar backend: the vector kernels' lane-parallel
+// partial sums make the composed path's full-row softmax (over -1e9-masked
+// logits) round differently from the fused bounded loops. SIMD coverage of
+// the same shapes lives in simd_kernels_test.cpp, by tolerance.
+class ScopedScalarSimd {
+ public:
+  ScopedScalarSimd() { kernels::SetSimdEnabledForTesting(0); }
+  ~ScopedScalarSimd() { kernels::SetSimdEnabledForTesting(-1); }
+};
+
 Tensor RandomInput(Shape shape, uint64_t seed, float scale = 0.5f) {
   Rng rng(seed);
   return Tensor::Randn(std::move(shape), rng, scale, /*requires_grad=*/true);
@@ -128,6 +139,7 @@ struct LoweringResult {
 };
 
 TEST(FusedComposedEquivalence, SingleHeadSelfAttentionBitExact) {
+  ScopedScalarSimd scalar;
   auto run = [](bool fused) {
     ScopedFused guard(fused);
     Rng init(21);
@@ -150,6 +162,7 @@ TEST(FusedComposedEquivalence, SingleHeadSelfAttentionBitExact) {
 }
 
 TEST(FusedComposedEquivalence, LearnedBiasGradBitExact) {
+  ScopedScalarSimd scalar;
   // TiSASRec feeds a learned bucket bias through the attention: the bias
   // gradient must survive the fused lowering bit-for-bit.
   auto run = [](bool fused) {
@@ -203,6 +216,7 @@ TEST(FusedComposedEquivalence, MultiHeadClose) {
 }
 
 TEST(FusedComposedEquivalence, DropoutRngStreamAligned) {
+  ScopedScalarSimd scalar;
   // Training-mode dropout: the fused kernel must consume the RNG stream in
   // exactly the composed order (row-major Bernoulli over the full prob
   // matrix), so same-seeded runs are bit-identical.
@@ -226,6 +240,7 @@ TEST(FusedComposedEquivalence, DropoutRngStreamAligned) {
 }
 
 TEST(FusedComposedEquivalence, PaddedBatchBitExact) {
+  ScopedScalarSimd scalar;
   // Batched attention over sequences with padding prefixes, as EncodeBatch
   // produces: [b, n, d] input + per-sequence [b, n, n] masks in the bias.
   auto run = [](bool fused) {
@@ -253,6 +268,7 @@ TEST(FusedComposedEquivalence, PaddedBatchBitExact) {
 }
 
 TEST(FusedComposedEquivalence, TaadDecodeBitExact) {
+  ScopedScalarSimd scalar;
   // TAAD aliases keys and values (Attn(C, F, F)); both lowerings must agree
   // on forward and on the summed k==v gradient.
   auto run = [](bool fused) {
@@ -275,6 +291,7 @@ TEST(FusedComposedEquivalence, TaadDecodeBitExact) {
 }
 
 TEST(FusedComposedEquivalence, TaadDecodeBatchBitExact) {
+  ScopedScalarSimd scalar;
   auto run = [](bool fused) {
     ScopedFused guard(fused);
     Tensor f = RandomInput({2, 4, 8}, 81);

@@ -1,0 +1,579 @@
+// Post-training int8 quantization contracts (src/quant, label: "quant").
+//
+//  1. Kernel exactness: DotInt8 is bit-exact against a naive int32 loop on
+//     every length (the AVX2 path accumulates integers, so lane order
+//     cannot matter), and Int8GemmDequant matches a reference dequantized
+//     GEMM elementwise.
+//  2. QuantizeRowsSymmetric bounds: round-trip error <= scale/2, the row
+//     max hits +/-127, all-zero rows get scale 1 and zero codes.
+//  3. Hook gating at the ops layer: int8 fires only when (a) a
+//     QuantizedModel has registered the weight, (b) ScopedInt8 is active on
+//     the thread, and (c) gradients are off. Any leg missing -> the fp32
+//     path runs bit-identically to a never-quantized process.
+//  4. Model-level accuracy: int8 scoring of a trained golden-replica model
+//     moves HR@10 / NDCG@10 by at most 0.005 absolute vs the checked-in
+//     fp32 golden metrics (tests/golden/golden_metrics.json).
+//  5. Serving: ServeOptions.use_int8 routes every service score through the
+//     quantized path, bit-identical to a direct ScopedInt8 model->Score.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stisan.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "obs/metrics.h"
+#include "quant/int8_gemm.h"
+#include "quant/quant.h"
+#include "serve/service.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace stisan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel exactness.
+// ---------------------------------------------------------------------------
+
+TEST(Int8Kernels, DotInt8BitExactVsNaive) {
+  Rng rng(42);
+  for (int64_t k : {1, 2, 7, 15, 16, 17, 31, 32, 33, 50, 64, 100, 333}) {
+    std::vector<int8_t> a(static_cast<size_t>(k)), b(static_cast<size_t>(k));
+    for (auto& x : a)
+      x = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+    for (auto& x : b)
+      x = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+    int32_t want = 0;
+    for (int64_t i = 0; i < k; ++i)
+      want += static_cast<int32_t>(a[static_cast<size_t>(i)]) *
+              static_cast<int32_t>(b[static_cast<size_t>(i)]);
+    EXPECT_EQ(quant::DotInt8(a.data(), b.data(), k), want) << "k=" << k;
+  }
+}
+
+TEST(Int8Kernels, DotInt8SaturatedExtremes) {
+  // k * 127 * 127 must accumulate without overflow at model-scale k.
+  const int64_t k = 512;
+  std::vector<int8_t> a(static_cast<size_t>(k), 127);
+  std::vector<int8_t> b(static_cast<size_t>(k), 127);
+  EXPECT_EQ(quant::DotInt8(a.data(), b.data(), k),
+            static_cast<int32_t>(k) * 127 * 127);
+  for (auto& x : b) x = -127;
+  EXPECT_EQ(quant::DotInt8(a.data(), b.data(), k),
+            -static_cast<int32_t>(k) * 127 * 127);
+}
+
+TEST(Int8Kernels, QuantizeRowsSymmetricBounds) {
+  Rng rng(7);
+  const int64_t rows = 6, k = 37;
+  std::vector<float> x(static_cast<size_t>(rows * k));
+  for (auto& v : x) v = static_cast<float>(rng.Normal()) * 2.0f;
+  // Row 2 is all zeros; row 3 has a single large spike.
+  for (int64_t j = 0; j < k; ++j) x[static_cast<size_t>(2 * k + j)] = 0.0f;
+  x[static_cast<size_t>(3 * k + 5)] = 100.0f;
+
+  std::vector<int8_t> q(x.size());
+  std::vector<float> scales(static_cast<size_t>(rows));
+  quant::QuantizeRowsSymmetric(x.data(), q.data(), scales.data(), rows, k);
+
+  for (int64_t r = 0; r < rows; ++r) {
+    float amax = 0.0f;
+    for (int64_t j = 0; j < k; ++j)
+      amax = std::max(amax, std::fabs(x[static_cast<size_t>(r * k + j)]));
+    if (amax == 0.0f) {
+      EXPECT_EQ(scales[static_cast<size_t>(r)], 1.0f) << "zero row scale";
+      for (int64_t j = 0; j < k; ++j)
+        EXPECT_EQ(q[static_cast<size_t>(r * k + j)], 0) << "zero row code";
+      continue;
+    }
+    EXPECT_NEAR(scales[static_cast<size_t>(r)], amax / 127.0f,
+                1e-6f * amax / 127.0f);
+    int8_t qmax = 0;
+    for (int64_t j = 0; j < k; ++j) {
+      const int8_t code = q[static_cast<size_t>(r * k + j)];
+      qmax = std::max<int8_t>(qmax, static_cast<int8_t>(std::abs(code)));
+      // Round-trip error is at most half a quantization step.
+      const float back = scales[static_cast<size_t>(r)] * code;
+      EXPECT_LE(std::fabs(back - x[static_cast<size_t>(r * k + j)]),
+                0.5f * scales[static_cast<size_t>(r)] + 1e-6f)
+          << "row " << r << " col " << j;
+    }
+    EXPECT_EQ(qmax, 127) << "row max must map to the code extreme, row " << r;
+  }
+}
+
+TEST(Int8Kernels, Int8GemmDequantMatchesReference) {
+  Rng rng(11);
+  const int64_t m = 9, k = 29, n = 13;
+  std::vector<int8_t> aq(static_cast<size_t>(m * k)),
+      bq(static_cast<size_t>(n * k));
+  std::vector<float> as(static_cast<size_t>(m)), bs(static_cast<size_t>(n));
+  for (auto& v : aq)
+    v = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+  for (auto& v : bq)
+    v = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+  for (auto& v : as) v = 0.01f + static_cast<float>(rng.Uniform()) * 0.1f;
+  for (auto& v : bs) v = 0.01f + static_cast<float>(rng.Uniform()) * 0.1f;
+
+  std::vector<float> c(static_cast<size_t>(m * n));
+  quant::Int8GemmDequant(aq.data(), as.data(), bq.data(), bs.data(), c.data(),
+                         m, k, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p)
+        acc += static_cast<int32_t>(aq[static_cast<size_t>(i * k + p)]) *
+               static_cast<int32_t>(bq[static_cast<size_t>(j * k + p)]);
+      const float want = static_cast<float>(acc) *
+                         (as[static_cast<size_t>(i)] *
+                          bs[static_cast<size_t>(j)]);
+      EXPECT_EQ(c[static_cast<size_t>(i * n + j)], want)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Int8Kernels, Int8GemmDequantThreadCountInvariant) {
+  Rng rng(13);
+  const int64_t m = 64, k = 48, n = 32;
+  std::vector<int8_t> aq(static_cast<size_t>(m * k)),
+      bq(static_cast<size_t>(n * k));
+  std::vector<float> as(static_cast<size_t>(m), 0.02f),
+      bs(static_cast<size_t>(n), 0.03f);
+  for (auto& v : aq)
+    v = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+  for (auto& v : bq)
+    v = static_cast<int8_t>(rng.UniformInt(int64_t{-127}, int64_t{127}));
+  auto run = [&] {
+    std::vector<float> c(static_cast<size_t>(m * n));
+    quant::Int8GemmDequant(aq.data(), as.data(), bq.data(), bs.data(),
+                           c.data(), m, k, n);
+    return c;
+  };
+  kernels::SetNumThreads(1);
+  const auto serial = run();
+  kernels::SetNumThreads(4);
+  const auto threaded = run();
+  kernels::SetNumThreads(1);
+  EXPECT_EQ(serial, threaded);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedInt8 flag semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ScopedInt8, NestsAndRestores) {
+  EXPECT_FALSE(quant::Int8Enabled());
+  {
+    quant::ScopedInt8 outer;
+    EXPECT_TRUE(quant::Int8Enabled());
+    {
+      quant::ScopedInt8 inner;
+      EXPECT_TRUE(quant::Int8Enabled());
+    }
+    EXPECT_TRUE(quant::Int8Enabled());
+  }
+  EXPECT_FALSE(quant::Int8Enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Hook gating at the ops layer, driven through a real model's parameters.
+// ---------------------------------------------------------------------------
+
+core::StisanOptions TinyStisanOptions() {
+  core::StisanOptions opts;
+  opts.poi_dim = 8;
+  opts.geo.dim = 8;
+  opts.geo.fourier_dim = 4;
+  opts.num_blocks = 2;
+  opts.train.seed = 7;
+  opts.knn_negatives = false;
+  return opts;
+}
+
+class QuantHookTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+    obs::ResetAllForTesting();
+    kernels::SetNumThreads(1);
+  }
+
+  // First registered quantizable parameter of `model` (2-D, >= 64 elems).
+  static Tensor FindQuantizableParam(const nn::Module& module) {
+    for (const auto& p : module.Parameters()) {
+      if (p.dim() == 2 && p.numel() >= 64 &&
+          quant::QuantizedModel::Find(p.data()) != nullptr) {
+        return p;
+      }
+    }
+    return Tensor();
+  }
+
+  data::Dataset ds_;
+};
+
+TEST_F(QuantHookTest, MatMulHookFiresOnlyWhenArmed) {
+  core::StisanModel model(ds_, TinyStisanOptions());
+  Rng rng(99);
+
+  quant::QuantizedModel qm(model);
+  ASSERT_GT(qm.num_weights(), 0);
+  const Tensor weight = FindQuantizableParam(model);
+  ASSERT_TRUE(weight.defined());
+  const int64_t k = weight.size(0), n = weight.size(1);
+  Tensor a = Tensor::Randn({4, k}, rng);
+
+  auto run_matmul = [&] {
+    Tensor c = ops::MatMul(a, weight);
+    const float* d = c.data();
+    return std::vector<float>(d, d + c.numel());
+  };
+
+  auto& gemms = obs::GetCounter("quant/int8_gemms");
+  const uint64_t before = gemms.Get();
+
+  // (1) No ScopedInt8 -> fp32, hook declines.
+  std::vector<float> fp32;
+  {
+    NoGradGuard no_grad;
+    fp32 = run_matmul();
+  }
+  EXPECT_EQ(gemms.Get(), before);
+
+  // (2) ScopedInt8 but gradients ENABLED -> hook declines, bit-identical
+  // (training/gradcheck must never see int8, even inside a guard).
+  std::vector<float> grad_on;
+  {
+    quant::ScopedInt8 on;
+    grad_on = run_matmul();
+  }
+  EXPECT_EQ(grad_on, fp32);
+  EXPECT_EQ(gemms.Get(), before);
+
+  // (3) ScopedInt8 + no gradients -> int8 fires: counter moves and the
+  // result agrees with fp32 within quantization tolerance.
+  std::vector<float> int8;
+  {
+    NoGradGuard no_grad;
+    quant::ScopedInt8 on;
+    int8 = run_matmul();
+  }
+  EXPECT_GT(gemms.Get(), before);
+  ASSERT_EQ(int8.size(), fp32.size());
+  float max_ref = 0.0f, max_diff = 0.0f;
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    max_ref = std::max(max_ref, std::fabs(fp32[i]));
+    max_diff = std::max(max_diff, std::fabs(int8[i] - fp32[i]));
+  }
+  EXPECT_LE(max_diff, 0.05f * max_ref + 1e-4f)
+      << "int8 result too far from fp32 (k=" << k << " n=" << n << ")";
+}
+
+TEST_F(QuantHookTest, DeregistrationRestoresFp32BitIdentical) {
+  core::StisanModel model(ds_, TinyStisanOptions());
+  Rng rng(123);
+
+  const float* key = nullptr;
+  std::vector<float> fp32_before, int8_scores, fp32_after;
+
+  std::vector<float> probe_a;
+  Tensor weight;
+  {
+    quant::QuantizedModel qm(model);
+    weight = FindQuantizableParam(model);
+    ASSERT_TRUE(weight.defined());
+    key = weight.data();
+    Tensor a = Tensor::Randn({3, weight.size(0)}, rng);
+    const float* ad = a.data();
+    probe_a.assign(ad, ad + a.numel());
+
+    NoGradGuard no_grad;
+    {
+      Tensor c = ops::MatMul(a, weight);
+      fp32_before.assign(c.data(), c.data() + c.numel());
+    }
+    {
+      quant::ScopedInt8 on;
+      Tensor c = ops::MatMul(a, weight);
+      int8_scores.assign(c.data(), c.data() + c.numel());
+    }
+    EXPECT_NE(quant::QuantizedModel::Find(key), nullptr);
+  }
+  // QuantizedModel destroyed: registry entry gone, int8 opt-in is inert.
+  EXPECT_EQ(quant::QuantizedModel::Find(key), nullptr);
+  {
+    NoGradGuard no_grad;
+    quant::ScopedInt8 on;
+    Tensor a = Tensor::FromVector({3, weight.size(0)}, probe_a);
+    Tensor c = ops::MatMul(a, weight);
+    fp32_after.assign(c.data(), c.data() + c.numel());
+  }
+  EXPECT_EQ(fp32_after, fp32_before);
+}
+
+TEST_F(QuantHookTest, EmbeddingGatherQuantizedWithPadding) {
+  core::StisanModel model(ds_, TinyStisanOptions());
+  quant::QuantizedModel qm(model);
+
+  // The POI embedding table is the largest 2-D parameter; find a registered
+  // one with enough rows to gather from.
+  Tensor table;
+  for (const auto& p : model.Parameters()) {
+    if (p.dim() == 2 && p.size(0) >= 8 &&
+        quant::QuantizedModel::Find(p.data()) != nullptr) {
+      if (!table.defined() || p.numel() > table.numel()) table = p;
+    }
+  }
+  ASSERT_TRUE(table.defined());
+
+  const std::vector<int64_t> ids = {0, 1, 3, 0, 5, 2};
+  const int64_t padding_idx = 0;
+  auto& gathers = obs::GetCounter("quant/int8_gathers");
+  const uint64_t before = gathers.Get();
+
+  NoGradGuard no_grad;
+  std::vector<float> fp32, int8;
+  {
+    Tensor out = ops::EmbeddingLookup(table, ids, padding_idx);
+    fp32.assign(out.data(), out.data() + out.numel());
+  }
+  {
+    quant::ScopedInt8 on;
+    Tensor out = ops::EmbeddingLookup(table, ids, padding_idx);
+    int8.assign(out.data(), out.data() + out.numel());
+  }
+  EXPECT_GT(gathers.Get(), before);
+
+  const int64_t d = table.size(1);
+  ASSERT_EQ(int8.size(), ids.size() * static_cast<size_t>(d));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      const size_t idx = i * static_cast<size_t>(d) + static_cast<size_t>(j);
+      if (ids[i] == padding_idx) {
+        // Padding rows are exactly zero in both paths.
+        EXPECT_EQ(int8[idx], 0.0f);
+        EXPECT_EQ(fp32[idx], 0.0f);
+      } else {
+        // Dequantized row: within half a step of the fp32 row.
+        const auto* qw = quant::QuantizedModel::Find(table.data());
+        ASSERT_NE(qw, nullptr);
+        const float step = qw->row_scale[static_cast<size_t>(ids[i])];
+        EXPECT_NEAR(int8[idx], fp32[idx], 0.5f * step + 1e-6f)
+            << "row " << ids[i] << " col " << j;
+      }
+    }
+  }
+}
+
+TEST_F(QuantHookTest, QuantizedModelBookkeeping) {
+  core::StisanModel model(ds_, TinyStisanOptions());
+  quant::QuantizedModel qm(model);
+  EXPECT_GT(qm.num_weights(), 0);
+  // Two int8 layouts + scales still beat one fp32 copy.
+  EXPECT_GT(qm.int8_bytes(), 0);
+  EXPECT_LT(qm.int8_bytes(), qm.fp32_bytes());
+  // Every registered weight is findable and shape-consistent.
+  int64_t found = 0;
+  for (const auto& p : model.Parameters()) {
+    const auto* qw = quant::QuantizedModel::Find(p.data());
+    if (qw == nullptr) continue;
+    ++found;
+    EXPECT_EQ(qw->rows, p.size(0));
+    EXPECT_EQ(qw->cols, p.size(1));
+    EXPECT_EQ(static_cast<int64_t>(qw->gemm_q.size()), p.numel());
+    EXPECT_EQ(static_cast<int64_t>(qw->row_q.size()), p.numel());
+    EXPECT_EQ(static_cast<int64_t>(qw->gemm_scale.size()), qw->cols);
+    EXPECT_EQ(static_cast<int64_t>(qw->row_scale.size()), qw->rows);
+  }
+  EXPECT_EQ(found, qm.num_weights());
+}
+
+// ---------------------------------------------------------------------------
+// Model-level accuracy: golden-replica fp32 vs int8 HR/NDCG deltas.
+// ---------------------------------------------------------------------------
+
+std::map<std::string, double> LoadGoldenJson() {
+  std::ifstream in(STISAN_GOLDEN_JSON);
+  EXPECT_TRUE(in.good()) << "cannot open " << STISAN_GOLDEN_JSON;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  // Flat {"key": value} parsing, mirroring tools/golden_pipeline.h.
+  std::map<std::string, double> out;
+  const std::string text = ss.str();
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    size_t cursor = key_end + 1;
+    while (cursor < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[cursor])) ||
+            text[cursor] == ':')) {
+      ++cursor;
+    }
+    if (cursor < text.size() &&
+        (text[cursor] == '-' || text[cursor] == '+' ||
+         std::isdigit(static_cast<unsigned char>(text[cursor])))) {
+      out[key] = std::strtod(text.c_str() + cursor, nullptr);
+    }
+    pos = key_end + 1;
+  }
+  return out;
+}
+
+class ScopedScalarBackend {
+ public:
+  ScopedScalarBackend() {
+    kernels::SetNumThreads(1);
+    kernels::SetSimdEnabledForTesting(0);
+  }
+  ~ScopedScalarBackend() { kernels::SetSimdEnabledForTesting(-1); }
+};
+
+TEST(QuantAccuracy, GoldenReplicaInt8MetricDeltasWithinBudget) {
+  // Replicates tools/golden_pipeline.h exactly (constants, seeds, scalar
+  // kernel pinning) so the fp32 leg lands on the checked-in golden metrics;
+  // then re-evaluates the same trained model through Int8BatchScorer.
+  ScopedScalarBackend scalar;
+
+  auto dataset = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+  auto split = data::TrainTestSplit(dataset, {.max_seq_len = 12});
+
+  core::StisanOptions options;
+  options.poi_dim = 8;
+  options.geo.dim = 8;
+  options.geo.fourier_dim = 4;
+  options.num_blocks = 1;
+  options.train.epochs = 2;
+  options.train.seed = 20220501;
+  options.train.max_train_windows = 60;
+  core::StisanModel model(dataset, options);
+  model.Fit(dataset, split.train);
+
+  eval::CandidateGenerator generator(dataset);
+  eval::EvalOptions eval_options;
+  eval_options.num_negatives = 50;
+  eval_options.batch_size = 8;
+
+  auto fp32_acc = eval::Evaluate(static_cast<eval::BatchScorer&>(model),
+                                 split.test, generator, eval_options);
+  const auto fp32 = fp32_acc.Means();
+
+  // Anchor: the fp32 leg must reproduce the golden file exactly — otherwise
+  // the int8 delta below measures the wrong thing.
+  const auto golden = LoadGoldenJson();
+  ASSERT_EQ(fp32.at("HR@10"), golden.at("HR@10"));
+  ASSERT_EQ(fp32.at("NDCG@10"), golden.at("NDCG@10"));
+
+  quant::QuantizedModel qm(model);
+  ASSERT_GT(qm.num_weights(), 0);
+  quant::Int8BatchScorer int8_scorer(&model);
+  auto int8_acc =
+      eval::Evaluate(int8_scorer, split.test, generator, eval_options);
+  const auto int8 = int8_acc.Means();
+
+  // Source of the EXPERIMENTS.md fp32-vs-int8 accuracy table.
+  for (const char* key : {"HR@5", "HR@10", "NDCG@5", "NDCG@10"}) {
+    std::printf("metric %-7s fp32 %.6f int8 %.6f delta %+.6f\n", key,
+                fp32.at(key), int8.at(key), int8.at(key) - fp32.at(key));
+  }
+
+  // int8 must move HR@10 / NDCG@10 by <= 0.005 absolute.
+  EXPECT_LE(std::fabs(int8.at("HR@10") - golden.at("HR@10")), 0.005)
+      << "int8 HR@10 " << int8.at("HR@10") << " vs golden "
+      << golden.at("HR@10");
+  EXPECT_LE(std::fabs(int8.at("NDCG@10") - golden.at("NDCG@10")), 0.005)
+      << "int8 NDCG@10 " << int8.at("NDCG@10") << " vs golden "
+      << golden.at("NDCG@10");
+}
+
+// ---------------------------------------------------------------------------
+// Serving integration: use_int8 quantizes every service scoring path.
+// ---------------------------------------------------------------------------
+
+TEST(QuantServe, ServiceInt8BitIdenticalToDirectScopedScore) {
+  auto ds = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+  obs::ResetAllForTesting();
+  kernels::SetNumThreads(1);
+
+  core::StisanModel model(ds, TinyStisanOptions());
+
+  // A user with enough history.
+  int64_t user = -1;
+  for (size_t u = 0; u < ds.user_seqs.size(); ++u) {
+    if (ds.user_seqs[u].size() >= 8) {
+      user = static_cast<int64_t>(u);
+      break;
+    }
+  }
+  ASSERT_GE(user, 0);
+  const auto& seq = ds.user_seqs[static_cast<size_t>(user)];
+
+  serve::ServeOptions so;
+  so.max_seq_len = 32;
+  so.start_worker = false;
+  so.use_int8 = true;
+  serve::RecommendService service(&model, so);
+  ASSERT_TRUE(service.int8());
+  ASSERT_TRUE(service.incremental());
+
+  Rng rng(5);
+  std::vector<int64_t> cands;
+  while (cands.size() < 20) {
+    const int64_t poi =
+        1 + static_cast<int64_t>(
+                rng.UniformInt(static_cast<uint64_t>(ds.num_pois())));
+    if (std::find(cands.begin(), cands.end(), poi) == cands.end())
+      cands.push_back(poi);
+  }
+
+  auto& gemms = obs::GetCounter("quant/int8_gemms");
+  for (size_t k = 1; k <= 8; ++k) {
+    service.Append(user, seq[k - 1].poi, seq[k - 1].timestamp);
+    const uint64_t before = gemms.Get();
+    const auto result = service.Score(user, cands);
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    EXPECT_GT(gemms.Get(), before) << "service scoring must run int8";
+
+    // Direct reference: same model, same registry, int8 opted in.
+    data::EvalInstance inst;
+    inst.first_real = 0;
+    for (size_t i = 0; i < k; ++i) {
+      inst.poi.push_back(seq[i].poi);
+      inst.t.push_back(seq[i].timestamp);
+    }
+    std::vector<float> want;
+    {
+      quant::ScopedInt8 on;
+      want = model.Score(inst, cands);
+    }
+    EXPECT_EQ(result.scores, want) << "prefix " << k;
+  }
+}
+
+TEST(QuantServe, Int8OffByDefaultAndIgnoredGracefully) {
+  auto ds = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
+  core::StisanModel model(ds, TinyStisanOptions());
+  serve::ServeOptions so;
+  so.start_worker = false;
+  serve::RecommendService service(&model, so);
+  EXPECT_FALSE(service.int8());
+}
+
+}  // namespace
+}  // namespace stisan

@@ -6,7 +6,11 @@
 // are checked into tests/golden/golden_metrics.json and compared EXACTLY in
 // CI. Every quantity in the chain is deterministic: data generation, training
 // and candidate sampling are seeded, the kernel backend is pinned to one
-// thread, and the batched evaluator is bit-identical to sequential scoring at
+// thread AND to the scalar fp32 reference path (the AVX2/NEON kernels round
+// differently, so kernel selection drift must not perturb this harness —
+// SIMD and int8 scoring are validated by tolerance in tests/quant_test and
+// tests/simd_kernels_test instead), and the batched evaluator is
+// bit-identical to sequential scoring at
 // any batch size. Doubles are serialised with %.17g, which round-trips
 // exactly, so the comparison is EXPECT_EQ, not EXPECT_NEAR — any drift in
 // metrics is a real behaviour change and must be acknowledged by re-running
@@ -33,6 +37,9 @@ namespace stisan::golden {
 /// Takes a few seconds on one core.
 inline std::map<std::string, double> ComputeGoldenMetrics() {
   kernels::SetNumThreads(1);
+  // Pin the scalar reference kernels (equivalent to STISAN_SIMD=0) for the
+  // whole process — the exact %.17g comparison must see one backend only.
+  kernels::SetSimdEnabledForTesting(0);
 
   auto dataset = data::GenerateSynthetic(data::GowallaLikeConfig(0.08));
   auto split = data::TrainTestSplit(dataset, {.max_seq_len = 12});

@@ -6,8 +6,8 @@
 #
 # Uses the asan/ubsan/tsan presets from CMakePresets.json (build trees
 # build-asan/, build-ubsan/ and build-tsan/); the asan/ubsan test presets
-# run the "unit", "robustness", "fused", "obs", "plan" and "serve"
-# labels, skipping the end-to-end CLI/tool smoke tests whose sanitized
+# run the "unit", "robustness", "fused", "obs", "plan", "serve" and
+# "quant" labels, skipping the end-to-end CLI/tool smoke tests whose sanitized
 # runtimes are excessive on one core. The tsan preset runs only the
 # concurrency-heavy "serve" and "obs" labels — the memory-safety gates
 # add nothing under TSan and its runtime overhead is the largest.
@@ -73,4 +73,14 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    ctest -L serve --output-on-failure)
+  echo "==== ${preset}: ctest (simd/quant gate) ===="
+  # The AVX2 kernels and the int8 GEMM read 8/16/32-wide lanes up to an
+  # explicitly computed bound with scalar tails — precisely where an
+  # off-by-one becomes an out-of-bounds vector load, and (under UBSan)
+  # where misaligned or overflowing lane arithmetic would hide. STISAN_SIMD=1
+  # makes the vector paths unconditional even if a future default flips.
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   STISAN_SIMD=1 ctest -L quant --output-on-failure)
 done
