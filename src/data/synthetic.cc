@@ -325,4 +325,28 @@ SyntheticConfig ChangchunLikeConfig(double scale) {
   return cfg;
 }
 
+SyntheticConfig MetroScaleConfig(double scale) {
+  // Metropolis catalog: 1e5 POIs at scale 1 across hundreds of small,
+  // dense clusters. Movement radii shrink accordingly — with this POI
+  // density a 1.5 km neighbourhood already holds hundreds of candidates,
+  // which keeps generation cost bounded and makes geo pruning meaningful
+  // (the true next POI is almost always spatially near the previous one).
+  SyntheticConfig cfg;
+  cfg.name = "metro-scale";
+  cfg.seed = 1005;
+  cfg.num_users = Scaled(240, std::sqrt(std::max(0.0, scale)),
+                         /*floor=*/60);
+  cfg.num_pois = Scaled(100000, scale, /*floor=*/20000);
+  cfg.num_clusters = Scaled(400, scale, /*floor=*/120);
+  cfg.city_radius_km = 40.0;
+  cfg.cluster_radius_km = 0.5;
+  cfg.anchor_radius_km = 1.5;
+  cfg.nearby_radius_km = 1.5;
+  cfg.distance_decay_km = 0.3;
+  cfg.min_checkins = 30;
+  cfg.max_checkins = 80;
+  cfg.scale = scale;
+  return cfg;
+}
+
 }  // namespace stisan::data

@@ -97,4 +97,11 @@ SyntheticConfig BrightkiteLikeConfig(double scale = 1.0);
 SyntheticConfig WeeplacesLikeConfig(double scale = 1.0);
 SyntheticConfig ChangchunLikeConfig(double scale = 1.0);
 
+/// Catalog-scale preset for the two-stage full-catalog ranker (DESIGN.md
+/// §17): a metropolis-sized POI universe — 1e5 POIs at scale 1, 1e6 at
+/// scale 10 — spread over many small clusters, with a deliberately modest
+/// user sample (users grow as sqrt(scale)). The point is stressing
+/// stage-one retrieval over a huge catalog, not training volume.
+SyntheticConfig MetroScaleConfig(double scale = 1.0);
+
 }  // namespace stisan::data

@@ -1,51 +1,88 @@
 #include "eval/full_ranking.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "eval/ranking_core.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace stisan::eval {
 
 MetricAccumulator FullRankingEvaluate(
-    const Scorer& scorer, const std::vector<data::EvalInstance>& test,
+    BatchScorer& scorer, const std::vector<data::EvalInstance>& test,
     const data::Dataset& dataset, const FullRankingOptions& options) {
-  STISAN_CHECK_GT(options.chunk_size, 1);
+  STISAN_CHECK_GE(options.chunk_size, 1);
+  OBS_SCOPED_TIMER("eval/full_ranking");
+  static obs::Counter& instances_counter =
+      obs::GetCounter("ranking/full_instances");
   MetricAccumulator acc(options.cutoffs);
-  int64_t done = 0;
-  for (const auto& instance : test) {
-    if (options.max_instances > 0 && done >= options.max_instances) break;
-    ++done;
+  if (options.top_k_out != nullptr) options.top_k_out->clear();
 
-    std::unordered_set<int64_t> visited(instance.visited.begin(),
-                                        instance.visited.end());
-    visited.erase(instance.target);
+  int64_t total = static_cast<int64_t>(test.size());
+  if (options.max_instances > 0) {
+    total = std::min(total, options.max_instances);
+  }
+  const int64_t batch_size = std::max<int64_t>(1, options.batch_size);
 
-    // Score the target first, then stream the remaining candidates in
-    // chunks, counting how many score >= the target (pessimistic ties,
-    // matching RankOfTarget).
-    const float target_score =
-        scorer(instance, {instance.target}).at(0);
-    int64_t rank = 0;
-    std::vector<int64_t> chunk;
-    chunk.reserve(static_cast<size_t>(options.chunk_size));
-    auto flush = [&] {
-      if (chunk.empty()) return;
-      const auto scores = scorer(instance, chunk);
-      STISAN_CHECK_EQ(scores.size(), chunk.size());
-      for (float s : scores) {
-        if (s >= target_score) ++rank;
-      }
-      chunk.clear();
-    };
-    for (int64_t poi = 1; poi <= dataset.num_pois(); ++poi) {
-      if (poi == instance.target || visited.contains(poi)) continue;
-      chunk.push_back(poi);
-      if (static_cast<int64_t>(chunk.size()) == options.chunk_size) flush();
+  // Per-instance enumeration state: the next POI id to consider plus the
+  // user's visited set (minus the target, which is scored separately).
+  struct Cursor {
+    std::unordered_set<int64_t> visited;
+    int64_t next_poi = 1;
+  };
+
+  for (int64_t begin = 0; begin < total; begin += batch_size) {
+    const int64_t size = std::min(batch_size, total - begin);
+    instances_counter.Inc(static_cast<uint64_t>(size));
+
+    std::vector<const data::EvalInstance*> batch(static_cast<size_t>(size));
+    std::vector<Cursor> cursors(static_cast<size_t>(size));
+    for (int64_t i = 0; i < size; ++i) {
+      const auto& instance = test[static_cast<size_t>(begin + i)];
+      batch[static_cast<size_t>(i)] = &instance;
+      auto& cursor = cursors[static_cast<size_t>(i)];
+      cursor.visited.insert(instance.visited.begin(),
+                            instance.visited.end());
+      cursor.visited.erase(instance.target);
     }
-    flush();
-    acc.Add(rank);
+
+    const auto next_chunk = [&](int64_t item, std::vector<int64_t>* chunk) {
+      auto& cursor = cursors[static_cast<size_t>(item)];
+      const auto& instance = *batch[static_cast<size_t>(item)];
+      while (cursor.next_poi <= dataset.num_pois() &&
+             static_cast<int64_t>(chunk->size()) < options.chunk_size) {
+        const int64_t poi = cursor.next_poi++;
+        if (poi == instance.target || cursor.visited.contains(poi)) continue;
+        chunk->push_back(poi);
+      }
+    };
+
+    internal::StreamRankOptions stream_options;
+    stream_options.track_top_k = options.track_top_k;
+    const auto result = internal::StreamRankBatch(scorer, batch, next_chunk,
+                                                  stream_options);
+
+    // Shard-then-Merge keeps the accumulator state identical to a
+    // sequential evaluation regardless of the batch partitioning.
+    MetricAccumulator shard(options.cutoffs);
+    for (int64_t i = 0; i < size; ++i) {
+      shard.Add(result.ranks[static_cast<size_t>(i)]);
+    }
+    acc.Merge(shard);
+    if (options.top_k_out != nullptr && options.track_top_k > 0) {
+      options.top_k_out->insert(options.top_k_out->end(),
+                                result.top_k.begin(), result.top_k.end());
+    }
   }
   return acc;
+}
+
+MetricAccumulator FullRankingEvaluate(
+    const Scorer& scorer, const std::vector<data::EvalInstance>& test,
+    const data::Dataset& dataset, const FullRankingOptions& options) {
+  internal::SingleScorerAdapter adapter(scorer);
+  return FullRankingEvaluate(adapter, test, dataset, options);
 }
 
 }  // namespace stisan::eval

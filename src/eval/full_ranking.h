@@ -5,11 +5,14 @@
 // 2020, the paper's ref [40]) show can distort model comparisons. This
 // module provides the unsampled alternative: the target is ranked against
 // EVERY previously-unvisited POI. It is O(P) score evaluations per
-// instance, so use it on the smaller presets or with `max_instances`.
+// instance, so use it on the smaller presets or with `max_instances`; for
+// large catalogs, PrunedRankingEvaluate trades exactness for a geo-pruned
+// candidate pool (DESIGN.md §17).
 
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "data/types.h"
 #include "eval/evaluator.h"
@@ -20,12 +23,27 @@ struct FullRankingOptions {
   std::vector<int64_t> cutoffs = {5, 10};
   /// Cap on evaluated instances (0 = all) to bound the O(P) cost.
   int64_t max_instances = 0;
-  /// Score candidates in chunks of this size (memory bound for the model's
-  /// candidate-embedding pass).
+  /// Score candidates in chunks of this size, >= 1 (memory bound for the
+  /// model's candidate-embedding pass). chunk_size = 1 scores one candidate
+  /// per call — slow but valid.
   int64_t chunk_size = 512;
+  /// Instances streamed per scorer batch (BatchScorer overload). Does not
+  /// affect results.
+  int64_t batch_size = 32;
+  /// > 0: also record each instance's top-k POIs — by (score desc, poi
+  /// asc), over the target plus every candidate — into *top_k_out (cleared
+  /// first, test order). Feeds the exact-vs-pruned recall@k comparison.
+  int64_t track_top_k = 0;
+  std::vector<std::vector<int64_t>>* top_k_out = nullptr;
 };
 
-/// Ranks each instance's target against all previously-unvisited POIs.
+/// Ranks each instance's target against all previously-unvisited POIs,
+/// batching instances through the scorer.
+MetricAccumulator FullRankingEvaluate(
+    BatchScorer& scorer, const std::vector<data::EvalInstance>& test,
+    const data::Dataset& dataset, const FullRankingOptions& options = {});
+
+/// Single-instance scorer convenience; results are identical.
 MetricAccumulator FullRankingEvaluate(
     const Scorer& scorer, const std::vector<data::EvalInstance>& test,
     const data::Dataset& dataset, const FullRankingOptions& options = {});

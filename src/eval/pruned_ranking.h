@@ -1,0 +1,76 @@
+// Two-stage full-catalog ranking evaluation (DESIGN.md §17).
+//
+// Stage one retrieves a geo-pruned candidate pool per instance — the
+// pool_size unvisited POIs nearest the user's most recent check-in (or
+// everything within a radius) via geo::CandidateGenerator over the sparse
+// spatial index. Stage two re-ranks the pool with the model's BatchScorer,
+// exactly like FullRankingEvaluate but over |pool| candidates instead of
+// all P. Instances whose target is missed by stage one are scored as rank
+// = P (beyond every cutoff), so reported metrics are honest lower bounds;
+// the per-instance hit flags double as the pruning-recall proxy.
+//
+// Head-to-head with FullRankingEvaluate: when the target is in the pool,
+// the pruned rank is <= the exact rank (the pool is a subset of the full
+// candidate set), with equality whenever every candidate that outscores
+// the target is also retrieved.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/types.h"
+#include "eval/batch_scorer.h"
+#include "eval/metrics.h"
+#include "geo/candidate_gen.h"
+
+namespace stisan::eval {
+
+struct PrunedRankingOptions {
+  std::vector<int64_t> cutoffs = {5, 10};
+  /// Cap on evaluated instances (0 = all).
+  int64_t max_instances = 0;
+  /// Instances per stage-one batch / stage-two scorer batch.
+  int64_t batch_size = 32;
+  /// Pool candidates scored per chunk within an instance, >= 1.
+  int64_t chunk_size = 512;
+  /// > 0: record each instance's re-ranked top-k POIs into *top_k_out
+  /// (cleared first, test order). Pool misses exclude the target — the
+  /// list is what the two-stage ranker would actually return.
+  int64_t track_top_k = 0;
+  std::vector<std::vector<int64_t>>* top_k_out = nullptr;
+};
+
+struct PrunedRankingResult {
+  MetricAccumulator metrics;
+  /// Per instance: did the stage-one pool contain the target?
+  std::vector<uint8_t> target_in_pool;
+  int64_t instances = 0;
+  int64_t pool_hits = 0;
+  /// Mean stage-one pool size (as retrieved, before target extraction).
+  double mean_pool_size = 0.0;
+
+  /// Pruning recall proxy: fraction of instances whose target survived
+  /// stage one.
+  double TargetInPoolRate() const {
+    return instances > 0 ? static_cast<double>(pool_hits) /
+                               static_cast<double>(instances)
+                         : 0.0;
+  }
+};
+
+/// Runs the two-stage ranker over `test`. `candidates` must be built over
+/// the dataset's real POIs (index id = poi - 1; see BuildCatalogIndex).
+/// Stage one runs on the kernel thread pool; results are deterministic at
+/// any thread count.
+PrunedRankingResult PrunedRankingEvaluate(
+    BatchScorer& scorer, const std::vector<data::EvalInstance>& test,
+    const data::Dataset& dataset, const geo::CandidateGenerator& candidates,
+    const PrunedRankingOptions& options = {});
+
+/// Builds the stage-one index over the dataset's real POIs with the id
+/// shift the evaluators expect (index id = poi - 1, skipping padding).
+geo::SpatialGridIndex BuildCatalogIndex(const data::Dataset& dataset,
+                                        double cell_km = 2.0);
+
+}  // namespace stisan::eval

@@ -1,0 +1,140 @@
+#include "eval/ranking_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace stisan::eval::internal {
+namespace {
+
+// Top-k ordering: higher score first, ties by ascending POI id. Used as the
+// heap comparator ("less" = better), which keeps the WORST retained entry
+// at the heap front where it can be evicted in O(log k).
+using TopKEntry = std::pair<float, int64_t>;  // (score, poi)
+
+bool Better(const TopKEntry& a, const TopKEntry& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+void PushTopK(std::vector<TopKEntry>* heap, int64_t k, float score,
+              int64_t poi) {
+  if (!std::isfinite(score)) return;  // NaN/-inf never make the top-k
+  const TopKEntry entry{score, poi};
+  if (static_cast<int64_t>(heap->size()) < k) {
+    heap->push_back(entry);
+    std::push_heap(heap->begin(), heap->end(), Better);
+  } else if (Better(entry, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), Better);
+    heap->back() = entry;
+    std::push_heap(heap->begin(), heap->end(), Better);
+  }
+}
+
+}  // namespace
+
+StreamRankResult StreamRankBatch(
+    BatchScorer& scorer,
+    const std::vector<const data::EvalInstance*>& batch,
+    const ChunkSupplier& next_chunk, const StreamRankOptions& options) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  StreamRankResult result;
+  result.ranks.assign(static_cast<size_t>(b), 0);
+  if (b == 0) return result;
+
+  // Target scores first: the comparison baseline for every chunk.
+  std::vector<std::vector<int64_t>> target_cand(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    target_cand[static_cast<size_t>(i)] = {batch[static_cast<size_t>(i)]
+                                               ->target};
+  }
+  const auto target_scores = scorer.ScoreBatch(batch, target_cand);
+  STISAN_CHECK_EQ(static_cast<int64_t>(target_scores.size()), b);
+  std::vector<float> target_score(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    STISAN_CHECK_EQ(target_scores[static_cast<size_t>(i)].size(), 1u);
+    target_score[static_cast<size_t>(i)] =
+        target_scores[static_cast<size_t>(i)][0];
+    // A non-finite target score can never be outranked and would silently
+    // claim rank 0 — fail loudly instead (same contract as RankOfTarget).
+    STISAN_CHECK(std::isfinite(target_score[static_cast<size_t>(i)]));
+  }
+
+  const int64_t k = options.track_top_k;
+  std::vector<std::vector<TopKEntry>> heaps;
+  if (k > 0) {
+    heaps.resize(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) {
+      const bool seed_target =
+          options.target_in_candidates == nullptr ||
+          (*options.target_in_candidates)[static_cast<size_t>(i)] != 0;
+      if (seed_target) {
+        PushTopK(&heaps[static_cast<size_t>(i)], k,
+                 target_score[static_cast<size_t>(i)],
+                 batch[static_cast<size_t>(i)]->target);
+      }
+    }
+  }
+
+  // Drain the streams round by round; items whose supplier comes back empty
+  // drop out, so late rounds score ever-smaller sub-batches.
+  std::vector<int64_t> active(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) active[static_cast<size_t>(i)] = i;
+  std::vector<int64_t> chunk;
+  while (!active.empty()) {
+    std::vector<const data::EvalInstance*> sub;
+    std::vector<std::vector<int64_t>> sub_chunks;
+    std::vector<int64_t> sub_items;
+    for (int64_t item : active) {
+      chunk.clear();
+      next_chunk(item, &chunk);
+      if (chunk.empty()) continue;
+      sub.push_back(batch[static_cast<size_t>(item)]);
+      sub_chunks.push_back(chunk);
+      sub_items.push_back(item);
+    }
+    if (sub.empty()) break;
+    const auto scores = scorer.ScoreBatch(sub, sub_chunks);
+    STISAN_CHECK_EQ(scores.size(), sub.size());
+    for (size_t s = 0; s < sub.size(); ++s) {
+      STISAN_CHECK_EQ(scores[s].size(), sub_chunks[s].size());
+      const int64_t item = sub_items[s];
+      for (size_t j = 0; j < scores[s].size(); ++j) {
+        if (scores[s][j] >= target_score[static_cast<size_t>(item)]) {
+          ++result.ranks[static_cast<size_t>(item)];
+        }
+        if (k > 0) {
+          PushTopK(&heaps[static_cast<size_t>(item)], k, scores[s][j],
+                   sub_chunks[s][j]);
+        }
+      }
+    }
+    active = std::move(sub_items);
+  }
+
+  if (k > 0) {
+    result.top_k.resize(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) {
+      auto& heap = heaps[static_cast<size_t>(i)];
+      std::sort_heap(heap.begin(), heap.end(), Better);  // best first
+      auto& out = result.top_k[static_cast<size_t>(i)];
+      out.reserve(heap.size());
+      for (const auto& [score, poi] : heap) out.push_back(poi);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<float>> SingleScorerAdapter::ScoreBatch(
+    const std::vector<const data::EvalInstance*>& instances,
+    const std::vector<std::vector<int64_t>>& candidates) {
+  std::vector<std::vector<float>> out(instances.size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    out[i] = scorer_(*instances[i], candidates[i]);
+  }
+  return out;
+}
+
+}  // namespace stisan::eval::internal

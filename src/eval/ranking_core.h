@@ -1,0 +1,68 @@
+// Shared stage-two streaming core for the catalog ranking evaluators
+// (eval::FullRankingEvaluate and eval::PrunedRankingEvaluate; DESIGN.md
+// §17). Both rank a target against a per-instance candidate stream that is
+// too large to score in one call: the target is scored first, then the
+// stream is fed through the BatchScorer in bounded chunks while counting
+// candidates that score >= the target (pessimistic ties, matching
+// RankOfTarget). Keeping the counting loop in one place guarantees the two
+// evaluators agree bit-for-bit whenever they see the same candidates.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/types.h"
+#include "eval/batch_scorer.h"
+#include "eval/evaluator.h"
+
+namespace stisan::eval::internal {
+
+/// Fills `chunk` (cleared by the caller) with the next candidates for batch
+/// item `item`, up to the evaluator's chunk size. Leaving `chunk` empty
+/// marks the item's stream as exhausted.
+using ChunkSupplier =
+    std::function<void(int64_t item, std::vector<int64_t>* chunk)>;
+
+struct StreamRankOptions {
+  /// > 0: also collect each item's top-k POIs by (score desc, poi asc) over
+  /// the target plus every streamed candidate.
+  int64_t track_top_k = 0;
+  /// Optional per-item flags (size = batch): items flagged 0 exclude the
+  /// target from top-k tracking — used by the pruned evaluator when the
+  /// stage-one pool missed the target, so the reported top-k reflects what
+  /// the two-stage ranker would actually return. Ranks are unaffected.
+  const std::vector<uint8_t>* target_in_candidates = nullptr;
+};
+
+struct StreamRankResult {
+  /// ranks[i] = number of streamed candidates scoring >= the target score.
+  std::vector<int64_t> ranks;
+  /// Per-item top-k POI ids (best first). Empty unless track_top_k > 0.
+  std::vector<std::vector<int64_t>> top_k;
+};
+
+/// Scores each item's target, then drains its candidate chunks through the
+/// scorer. Items are sub-batched per round so one exhausted stream never
+/// stalls the rest of the batch.
+StreamRankResult StreamRankBatch(
+    BatchScorer& scorer,
+    const std::vector<const data::EvalInstance*>& batch,
+    const ChunkSupplier& next_chunk, const StreamRankOptions& options);
+
+/// Adapts a single-instance Scorer to the batched interface (scores are
+/// identical; candidates are just scored one instance at a time).
+class SingleScorerAdapter : public BatchScorer {
+ public:
+  explicit SingleScorerAdapter(const Scorer& scorer) : scorer_(scorer) {}
+
+  std::vector<std::vector<float>> ScoreBatch(
+      const std::vector<const data::EvalInstance*>& instances,
+      const std::vector<std::vector<int64_t>>& candidates) override;
+
+ private:
+  const Scorer& scorer_;
+};
+
+}  // namespace stisan::eval::internal

@@ -1,0 +1,78 @@
+#include "geo/candidate_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace stisan::geo {
+
+CandidateGenerator::CandidateGenerator(const SpatialGridIndex& index,
+                                       CandidatePoolOptions options)
+    : index_(index), options_(options) {
+  STISAN_CHECK(options_.pool_size > 0 || options_.radius_km > 0.0);
+}
+
+void CandidateGenerator::Generate(
+    const GeoPoint& query, const std::function<bool(int64_t)>& accept,
+    SpatialGridIndex::QueryScratch* scratch,
+    std::vector<int64_t>* out) const {
+  if (options_.radius_km > 0.0) {
+    index_.WithinRadiusInto(query, options_.radius_km, out);
+    if (accept) {
+      out->erase(std::remove_if(out->begin(), out->end(),
+                                [&accept](int64_t id) { return !accept(id); }),
+                 out->end());
+    }
+    return;
+  }
+  index_.KNearestInto(query, options_.pool_size, accept, scratch, out);
+}
+
+void CandidateGenerator::GenerateBatch(
+    const std::vector<GeoPoint>& queries, const BatchAcceptFn& accept,
+    ThreadPool* pool, std::vector<std::vector<int64_t>>* pools) const {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  pools->resize(static_cast<size_t>(n));
+  if (n == 0) return;
+  const int64_t workers =
+      pool == nullptr ? 1
+                      : std::clamp<int64_t>(pool->num_threads(), 1, n);
+  while (static_cast<int64_t>(scratch_.size()) < workers) {
+    scratch_.push_back(std::make_unique<SpatialGridIndex::QueryScratch>());
+  }
+  // Contiguous ranges, one scratch each; every pool slot is written by
+  // exactly one worker, so the output is thread-count independent. The
+  // per-query accept closure captures (accept*, i) only — small enough for
+  // std::function's inline storage, so no per-query heap traffic.
+  const int64_t chunk = (n + workers - 1) / workers;
+  auto run_range = [this, &queries, &accept, pools](int64_t slot,
+                                                    int64_t begin,
+                                                    int64_t end) {
+    SpatialGridIndex::QueryScratch* scratch =
+        scratch_[static_cast<size_t>(slot)].get();
+    for (int64_t i = begin; i < end; ++i) {
+      std::function<bool(int64_t)> accept_i;
+      if (accept) {
+        const BatchAcceptFn* fn = &accept;
+        accept_i = [fn, i](int64_t id) { return (*fn)(i, id); };
+      }
+      Generate(queries[static_cast<size_t>(i)], accept_i, scratch,
+               &(*pools)[static_cast<size_t>(i)]);
+    }
+  };
+  if (workers == 1) {
+    run_range(0, 0, n);
+    return;
+  }
+  for (int64_t slot = 0; slot < workers; ++slot) {
+    const int64_t begin = slot * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool->Submit([&run_range, slot, begin, end] {
+      run_range(slot, begin, end);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace stisan::geo

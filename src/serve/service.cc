@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "core/stisan.h"
@@ -36,6 +37,7 @@ struct ServeMetrics {
   obs::Counter& stale_served = obs::GetCounter("serve/stale_served");
   obs::Counter& invalid_requests =
       obs::GetCounter("serve/invalid_requests");
+  obs::Counter& catalog_requests = obs::GetCounter("serve/catalog_requests");
   obs::Gauge& resident = obs::GetGauge("serve/resident_sessions");
   obs::Histogram& latency = obs::GetHistogram("time/serve/request");
   obs::Histogram& queue_wait = obs::GetHistogram("serve/queue_wait");
@@ -43,6 +45,8 @@ struct ServeMetrics {
       obs::GetHistogram("serve/queue_depth", obs::CountBounds());
   obs::Histogram& batch_size =
       obs::GetHistogram("serve/batch_size", obs::CountBounds());
+  obs::Histogram& catalog_pool_size =
+      obs::GetHistogram("serve/catalog_pool_size", obs::CountBounds());
 };
 
 ServeMetrics& Metrics() {
@@ -73,6 +77,19 @@ RecommendService::RecommendService(models::SequentialRecommender* model,
     if (auto* module = dynamic_cast<nn::Module*>(model)) {
       quant_model_ = std::make_unique<quant::QuantizedModel>(*module);
     }
+  }
+  if (options_.poi_coords != nullptr) {
+    STISAN_CHECK_GE(options_.catalog_pool_size, 1);
+    STISAN_CHECK_GE(static_cast<int64_t>(options_.poi_coords->size()), 2);
+    // Index id = poi - 1 (entry 0 is the padding POI).
+    catalog_index_ = std::make_unique<geo::SpatialGridIndex>(
+        std::vector<geo::GeoPoint>(options_.poi_coords->begin() + 1,
+                                   options_.poi_coords->end()),
+        options_.catalog_cell_km);
+    geo::CandidatePoolOptions pool_options;
+    pool_options.pool_size = options_.catalog_pool_size;
+    catalog_gen_ = std::make_unique<geo::CandidateGenerator>(*catalog_index_,
+                                                             pool_options);
   }
   if (options_.start_worker) {
     worker_ = std::thread([this] { WorkerLoop(); });
@@ -227,6 +244,43 @@ ScoreResult RecommendService::Score(int64_t user,
   return fut.get();
 }
 
+std::future<ScoreResult> RecommendService::RankCatalogAsync(
+    int64_t user, int64_t top_k, int64_t deadline_us) {
+  Op op;
+  op.kind = OpKind::kScore;
+  op.catalog = true;
+  op.user = user;
+  op.top_k = top_k;
+  op.enqueued = std::chrono::steady_clock::now();
+  std::future<ScoreResult> fut = op.promise.get_future();
+  if (catalog_gen_ == nullptr) {
+    Metrics().invalid_requests.Inc();
+    Fail(op, Status::FailedPrecondition(
+                 "catalog ranking disabled (ServeOptions::poi_coords "
+                 "not set)"));
+    return fut;
+  }
+  if (top_k < 1) {
+    Metrics().invalid_requests.Inc();
+    Fail(op, Status::InvalidArgument("top_k must be >= 1"));
+    return fut;
+  }
+  if (deadline_us <= 0) deadline_us = options_.default_deadline_us;
+  if (deadline_us > 0) {
+    op.has_deadline = true;
+    op.deadline = op.enqueued + std::chrono::microseconds(deadline_us);
+  }
+  Status admitted = Enqueue(op);
+  if (!admitted.ok()) Fail(op, std::move(admitted));
+  return fut;
+}
+
+ScoreResult RecommendService::RankCatalog(int64_t user, int64_t top_k) {
+  std::future<ScoreResult> fut = RankCatalogAsync(user, top_k);
+  if (!options_.start_worker) Pump();
+  return fut.get();
+}
+
 Status RecommendService::EvictSession(int64_t user) {
   Op op;
   op.kind = OpKind::kEvict;
@@ -304,7 +358,27 @@ void RecommendService::Fulfil(Op& op, std::vector<float> scores,
   const double latency = SecondsSince(op.enqueued);
   Metrics().latency.Observe(latency);
   ScoreResult result;
-  result.scores = std::move(scores);
+  if (op.catalog) {
+    // Catalog requests return the re-ranked pool: descending score, ties
+    // by ascending POI id (deterministic), truncated to top_k.
+    STISAN_CHECK_EQ(scores.size(), op.candidates.size());
+    std::vector<size_t> order(scores.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return op.candidates[a] < op.candidates[b];
+    });
+    const size_t keep =
+        std::min(order.size(), static_cast<size_t>(op.top_k));
+    result.pois.reserve(keep);
+    result.scores.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      result.pois.push_back(op.candidates[order[i]]);
+      result.scores.push_back(scores[order[i]]);
+    }
+  } else {
+    result.scores = std::move(scores);
+  }
   result.latency_s = latency;
   result.stale = stale;
   op.promise.set_value(std::move(result));
@@ -323,7 +397,9 @@ void RecommendService::Fail(Op& op, Status status) {
 // fallback forward), else resolve kDeadlineExceeded. Never throws.
 void RecommendService::ServeStaleOrExpire(Op& op) {
   ServeMetrics& m = Metrics();
-  if (options_.allow_stale && engine_ != nullptr) {
+  // Catalog ops whose deadline expired before stage one have no pool to
+  // serve stale from; they expire directly.
+  if (options_.allow_stale && engine_ != nullptr && !op.catalog) {
     Session* s = store_.Find(op.user);
     if (s != nullptr && s->resident && s->state != nullptr &&
         s->state->cached_len >= 1 &&
@@ -439,6 +515,23 @@ void RecommendService::ServeScore(Op& op, std::vector<Op>* pending) {
   }
   Session& s = store_.GetOrCreate(op.user);
   const int64_t len = static_cast<int64_t>(s.pois.size());
+  if (op.catalog) {
+    m.catalog_requests.Inc();
+    if (len == 0) {
+      // No history = no query location; the caller should seed the user
+      // with Append first.
+      Fail(op, Status::FailedPrecondition(
+                   "catalog ranking needs at least one check-in for user " +
+                   std::to_string(op.user)));
+      return;
+    }
+    if (!GenerateCatalogPool(op, s)) return;
+    if (op.candidates.empty()) {
+      // Everything in range is already visited: a valid empty result.
+      Fulfil(op, {});
+      return;
+    }
+  }
   if (len == 0) {
     // Cold start: nothing to condition on; scores are all zero.
     if (inj != nullptr) inj->MaybeThrowOnScore();
@@ -472,6 +565,31 @@ void RecommendService::ServeScore(Op& op, std::vector<Op>* pending) {
   if (static_cast<int64_t>(pending->size()) >= options_.max_batch) {
     FlushFallback(pending);
   }
+}
+
+bool RecommendService::GenerateCatalogPool(Op& op, const Session& session) {
+  ServeMetrics& m = Metrics();
+  const int64_t last_poi = session.pois.back();
+  if (last_poi <= 0 ||
+      last_poi >= static_cast<int64_t>(options_.poi_coords->size())) {
+    // History POIs are validated on Append against options.num_pois; a
+    // mismatch with the coordinate table is a configuration fault.
+    Fail(op, Status::Internal("history POI outside the catalog: " +
+                              std::to_string(last_poi)));
+    return false;
+  }
+  const std::unordered_set<int64_t> visited(session.pois.begin(),
+                                            session.pois.end());
+  std::vector<int64_t> pool;
+  catalog_gen_->Generate(
+      (*options_.poi_coords)[static_cast<size_t>(last_poi)],
+      [&visited](int64_t id) { return !visited.contains(id + 1); },
+      &catalog_scratch_, &pool);
+  m.catalog_pool_size.Observe(static_cast<double>(pool.size()));
+  op.candidates.clear();
+  op.candidates.reserve(pool.size());
+  for (int64_t id : pool) op.candidates.push_back(id + 1);
+  return true;
 }
 
 void RecommendService::Process(std::vector<Op> ops) {

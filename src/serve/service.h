@@ -2,8 +2,11 @@
 //
 // Library only — no network. Callers enqueue per-user operations:
 //
-//   Append(user, poi, t)  — record a check-in
-//   ScoreAsync(user, C)   — score candidate POIs against the user's history
+//   Append(user, poi, t)        — record a check-in
+//   ScoreAsync(user, C)         — score candidate POIs against the history
+//   RankCatalogAsync(user, k)   — opt-in two-stage "rank the whole city":
+//     geo-pruned candidate pool around the user's latest check-in, re-ranked
+//     by the model, top-k returned (DESIGN.md §17)
 //
 // A single worker drains the queue (optionally waiting a coalescing window
 // so concurrent requests batch), applies appends in arrival order, serves
@@ -46,9 +49,10 @@
 // serve/incremental_scored, serve/fallback_scored, serve/cold_starts,
 // serve/cache_rebuilds, serve/cold_builds, serve/evictions,
 // serve/overflows, serve/shed, serve/rejected, serve/deadline_exceeded,
-// serve/batch_failures, serve/stale_served, serve/invalid_requests;
-// histograms time/serve/request (enqueue -> fulfil), serve/queue_wait
-// (enqueue -> dequeue), serve/queue_depth, serve/batch_size; gauge
+// serve/batch_failures, serve/stale_served, serve/invalid_requests,
+// serve/catalog_requests; histograms time/serve/request (enqueue ->
+// fulfil), serve/queue_wait (enqueue -> dequeue), serve/queue_depth,
+// serve/batch_size, serve/catalog_pool_size; gauge
 // serve/resident_sessions.
 
 #pragma once
@@ -64,6 +68,7 @@
 #include <vector>
 
 #include "data/types.h"
+#include "geo/candidate_gen.h"
 #include "models/recommender.h"
 #include "serve/fault_injector.h"
 #include "serve/session_store.h"
@@ -131,6 +136,17 @@ struct ServeOptions {
   /// not bit-identical to fp32 serving (see DESIGN.md §16). Ignored for
   /// models that are not nn::Modules.
   bool use_int8 = false;
+  /// Opt-in "rank the whole city" requests (RankCatalogAsync; DESIGN.md
+  /// §17): POI coordinates indexed by id, entry 0 = the padding POI —
+  /// i.e. Dataset::poi_coords. Must outlive the service. nullptr (the
+  /// default) leaves catalog ranking disabled: RankCatalogAsync resolves
+  /// kFailedPrecondition.
+  const std::vector<geo::GeoPoint>* poi_coords = nullptr;
+  /// Stage-one pool size for catalog requests: how many not-yet-visited
+  /// POIs around the user's latest check-in get re-ranked by the model.
+  int64_t catalog_pool_size = 500;
+  /// Grid resolution (km) for the catalog's sparse spatial index.
+  double catalog_cell_km = 2.0;
 };
 
 struct ScoreResult {
@@ -140,6 +156,11 @@ struct ScoreResult {
   /// (scorer fault — the request failed but the service kept running).
   Status status;
   std::vector<float> scores;
+  /// Catalog requests only: the re-ranked POI ids aligned with `scores`
+  /// (descending score, ties by ascending id, truncated to top_k). Empty
+  /// for plain ScoreAsync requests, whose scores align with the caller's
+  /// candidate list instead.
+  std::vector<int64_t> pois;
   /// Enqueue -> fulfil latency as observed by the service, seconds.
   double latency_s = 0.0;
   /// True when the result was served from the resident cached prefix
@@ -185,6 +206,26 @@ class RecommendService {
   /// stopped service returns kUnavailable instead of blocking.
   ScoreResult Score(int64_t user, std::vector<int64_t> candidates);
 
+  /// Two-stage full-catalog request (DESIGN.md §17): stage one retrieves
+  /// the catalog_pool_size not-yet-visited POIs nearest the user's most
+  /// recent check-in from the service's sparse spatial index; stage two
+  /// re-ranks the pool through the normal scoring paths (incremental or
+  /// fallback). The result carries the top_k best POIs in `pois` with
+  /// aligned `scores`. Resolves kFailedPrecondition when catalog ranking
+  /// is disabled (options.poi_coords == nullptr) or the user has no
+  /// history (no query location); kInvalidArgument for top_k < 1. An
+  /// empty neighbourhood resolves OK with empty lists. Same admission,
+  /// deadline and fault semantics as ScoreAsync, except expired catalog
+  /// requests never serve stale (the stale rung has no pool).
+  std::future<ScoreResult> RankCatalogAsync(int64_t user, int64_t top_k,
+                                            int64_t deadline_us);
+  std::future<ScoreResult> RankCatalogAsync(int64_t user, int64_t top_k) {
+    return RankCatalogAsync(user, top_k, 0);
+  }
+
+  /// Synchronous convenience for RankCatalogAsync.
+  ScoreResult RankCatalog(int64_t user, int64_t top_k);
+
   /// Drops the user's cached state (history kept) — applied in queue
   /// order. Tests use this to force mid-sequence evictions. Same
   /// admission/shutdown errors as Append.
@@ -217,6 +258,10 @@ class RecommendService {
     int64_t poi = 0;
     double timestamp = 0.0;
     std::vector<int64_t> candidates;
+    /// Catalog requests: stage one fills `candidates` at serve time and
+    /// Fulfil re-ranks/truncates to the top_k best.
+    bool catalog = false;
+    int64_t top_k = 0;
     std::promise<ScoreResult> promise;
     std::chrono::steady_clock::time_point enqueued;
     // Absolute deadline; meaningful only when has_deadline.
@@ -246,11 +291,22 @@ class RecommendService {
   void Fulfil(Op& op, std::vector<float> scores, bool stale = false);
   void Fail(Op& op, Status status);
 
+  /// Stage one for a catalog op: fills op.candidates with the unvisited
+  /// pool around the user's latest check-in. Returns false (after
+  /// resolving the op) when the request cannot be served.
+  bool GenerateCatalogPool(Op& op, const Session& session);
+
   models::SequentialRecommender* model_;
   ServeOptions options_;
   std::unique_ptr<core::IncrementalScorer> engine_;
   std::unique_ptr<quant::QuantizedModel> quant_model_;
   SessionStore store_;
+  /// Catalog ranking stage one (built iff options.poi_coords is set);
+  /// index id = poi - 1. Only the single worker (or Pump caller) touches
+  /// the scratch.
+  std::unique_ptr<geo::SpatialGridIndex> catalog_index_;
+  std::unique_ptr<geo::CandidateGenerator> catalog_gen_;
+  geo::SpatialGridIndex::QueryScratch catalog_scratch_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

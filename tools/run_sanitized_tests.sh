@@ -6,8 +6,8 @@
 #
 # Uses the asan/ubsan/tsan presets from CMakePresets.json (build trees
 # build-asan/, build-ubsan/ and build-tsan/); the asan/ubsan test presets
-# run the "unit", "robustness", "fused", "obs", "plan", "serve" and
-# "quant" labels, skipping the end-to-end CLI/tool smoke tests whose sanitized
+# run the "unit", "robustness", "fused", "obs", "plan", "serve", "quant"
+# and "ranking" labels, skipping the end-to-end CLI/tool smoke tests whose sanitized
 # runtimes are excessive on one core. The tsan preset runs only the
 # concurrency-heavy "serve" and "obs" labels — the memory-safety gates
 # add nothing under TSan and its runtime overhead is the largest.
@@ -83,4 +83,14 @@ for preset in "${presets[@]}"; do
    ASAN_OPTIONS="halt_on_error=1" \
    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
    STISAN_SIMD=1 ctest -L quant --output-on-failure)
+  echo "==== ${preset}: ctest (catalog-ranking gate) ===="
+  # The two-stage ranker's hot path reuses per-worker query scratch and
+  # streams candidate pools through caller-owned buffers across threads;
+  # the ranking label re-runs the brute-force property suite and the
+  # full-vs-pruned parity checks where a stale span or an off-by-one in
+  # the sparse cell map would surface as an out-of-bounds read.
+  (cd "build-${preset}" && \
+   ASAN_OPTIONS="halt_on_error=1" \
+   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+   ctest -L ranking --output-on-failure)
 done
